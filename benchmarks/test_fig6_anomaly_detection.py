@@ -1,0 +1,67 @@
+"""Figure 6 — anomaly-detection AUC for four outlier types.
+
+5% outliers are planted per type (structural / attribute / combined /
+mix); AnECI scores nodes by membership entropy, anomaly specialists use
+their native scores, the rest go through the isolation forest.  Paper
+shape: AnECI best or near-best on every type.
+"""
+
+import numpy as np
+
+from repro import baselines as B
+from repro.anomalies import seed_outliers
+from repro.tasks import anomaly_auc, isolation_forest_scores
+
+from _harness import (EPOCHS, aneci_model, load, print_table, save_results)
+
+KINDS = ["structural", "attribute", "combined", "mix"]
+
+
+def run(dataset: str = "cora") -> dict[str, dict[str, float]]:
+    graph = load(dataset)
+    table: dict[str, dict[str, float]] = {}
+    for kind in KINDS:
+        rng = np.random.default_rng(7)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05, kind=kind)
+
+        methods = {
+            "GAE": B.GAE(epochs=EPOCHS["gae"], seed=0),
+            "DGI": B.DGI(dim=32, epochs=EPOCHS["dgi"], seed=0),
+            "Dominant": B.Dominant(epochs=EPOCHS["ae"], seed=0),
+            "AnomalyDAE": B.AnomalyDAE(epochs=EPOCHS["ae"], seed=0),
+            "DONE": B.DONE(epochs=EPOCHS["ae"], seed=0),
+            "ADONE": B.ADONE(epochs=EPOCHS["ae"], seed=0),
+        }
+        for name, method in methods.items():
+            method.fit(augmented)
+            scores = method.anomaly_scores()
+            if scores is None:
+                scores = isolation_forest_scores(method.embed(), seed=0)
+            table.setdefault(name, {})[kind] = anomaly_auc(mask, scores)
+
+        model = aneci_model(augmented, seed=0,
+                            patience=20).fit(augmented)
+        table.setdefault("AnECI", {})[kind] = anomaly_auc(
+            mask, model.anomaly_scores())
+    return table
+
+
+import pytest
+
+
+@pytest.mark.parametrize("dataset", ["cora", "citeseer"])
+def test_fig6(benchmark, dataset):
+    table = benchmark.pedantic(run, args=(dataset,), rounds=1, iterations=1)
+    print_table(f"Fig. 6 anomaly AUC ({dataset})", table)
+    save_results(f"fig6_anomaly_detection_{dataset}", table)
+
+    # Shape: AnECI best-or-near-best "except for a few cases" (paper's own
+    # caveat): above chance on every type, and within 0.1 of the best
+    # method on at least three of the four types.
+    near_best = 0
+    for kind in KINDS:
+        assert table["AnECI"][kind] > 0.5
+        best_baseline = max(table[m][kind] for m in table if m != "AnECI")
+        if table["AnECI"][kind] >= best_baseline - 0.1:
+            near_best += 1
+    assert near_best >= 3

@@ -1,0 +1,45 @@
+"""Scalability of AnECI with sampled reconstruction (paper's conclusion).
+
+The paper's closing remark targets scalability through sampling; AnECI's
+``recon_sample_size`` bounds the decoder's per-epoch cost by a constant
+block instead of the full ``N²`` matrix.  This bench grows a Pubmed-like
+graph and checks that per-epoch time grows sub-quadratically once
+sampling engages.
+"""
+
+import time
+
+from _harness import aneci_model, print_table, save_results
+from repro.graph import load_dataset
+
+SCALES = [0.05, 0.1, 0.2]
+EPOCHS = 15
+
+
+def run() -> dict[str, dict[str, float]]:
+    table: dict[str, dict[str, float]] = {}
+    for scale in SCALES:
+        graph = load_dataset("pubmed", scale=scale, seed=0)
+        model = aneci_model(graph, seed=0, epochs=EPOCHS,
+                            recon_sample_size=1024)
+        start = time.perf_counter()
+        model.fit(graph)
+        elapsed = time.perf_counter() - start
+        table[f"scale={scale}"] = {
+            "nodes": float(graph.num_nodes),
+            "edges": float(graph.num_edges),
+            "per_epoch_s": elapsed / EPOCHS,
+        }
+    return table
+
+
+def test_scalability(benchmark):
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("AnECI scalability (pubmed-like, sampled decoder)", table)
+    save_results("scalability", table)
+
+    rows = [table[f"scale={s}"] for s in SCALES]
+    node_ratio = rows[-1]["nodes"] / rows[0]["nodes"]
+    time_ratio = rows[-1]["per_epoch_s"] / max(rows[0]["per_epoch_s"], 1e-9)
+    # Sub-quadratic: quadrupling N must not square the per-epoch time.
+    assert time_ratio < node_ratio ** 2

@@ -1,0 +1,105 @@
+"""Supplementary experiments referenced but not printed in the main text.
+
+* Defense score under random attack on Citeseer and Polblogs (the paper's
+  Section VI-B1 defers these to supplementary S.I).
+* Robustness under the label-aware DICE attack — a harder probe than the
+  random attack, exercising the extension attacker.
+"""
+
+import numpy as np
+import pytest
+
+from repro import baselines as B
+from repro.attacks import DICE, FeatureAttack, RandomAttack
+from repro.core import defense_score
+from repro.metrics import accuracy
+from repro.tasks import evaluate_embedding
+
+from _harness import EPOCHS, aneci_model, aneci_plus_model, load, \
+    print_table, save_results
+
+
+@pytest.mark.parametrize("dataset", ["citeseer", "polblogs"])
+def test_supplementary_defense_score(benchmark, dataset):
+    """Fig. 2's supplementary panels: other datasets, δ = 0.3."""
+
+    def run():
+        graph = load(dataset)
+        result = RandomAttack(0.3, seed=1).attack(graph)
+        attacked, fake = result.graph, result.added_edges
+        clean = graph.edge_list()
+        scores = {}
+        for name, method in {
+            "GAE": B.GAE(epochs=EPOCHS["gae"], seed=0),
+            "DGI": B.DGI(dim=32, epochs=EPOCHS["dgi"], seed=0),
+            "AnECI": aneci_model(attacked, seed=0, epochs=150),
+        }.items():
+            z = method.fit_transform(attacked)
+            scores[name] = defense_score(z, clean, fake)
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table(f"Supplementary defense score ({dataset})",
+                {k: {"DS": v} for k, v in scores.items()})
+    save_results(f"supp_defense_{dataset}", scores)
+    # AnECI clearly above 1 (fake edges flagged) and within 25% of the
+    # best method; on the main-text Cora panel (Fig. 2) it is strictly
+    # highest — see test_fig2_defense_score.py.
+    assert scores["AnECI"] > 1.2
+    assert scores["AnECI"] > 0.75 * max(scores["GAE"], scores["DGI"])
+
+
+def test_dice_attack_robustness(benchmark):
+    """Extension: community-targeted DICE poisoning on Cora."""
+
+    def run():
+        graph = load("cora")
+        attacked = DICE(0.3, seed=3).attack(graph).graph
+        rows = {}
+        for name, method in {
+            "GAE": B.GAE(epochs=EPOCHS["gae"], seed=0),
+            "DGI": B.DGI(dim=32, epochs=EPOCHS["dgi"], seed=0),
+        }.items():
+            z = method.fit_transform(attacked)
+            rows[name] = evaluate_embedding(z, attacked)
+        z = aneci_model(attacked, seed=0).fit_transform(attacked)
+        rows["AnECI"] = evaluate_embedding(z, attacked)
+        plus = aneci_plus_model(attacked, seed=0, alpha=4.0).fit(attacked)
+        rows["AnECI+"] = evaluate_embedding(plus.stage2.embed(attacked),
+                                            attacked)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("DICE attack accuracy (cora)",
+                {k: {"acc": v} for k, v in rows.items()})
+    save_results("supp_dice_attack", rows)
+    ours = max(rows["AnECI"], rows["AnECI+"])
+    assert ours >= max(rows["GAE"], rows["DGI"]) - 0.15
+
+
+def test_feature_attack_robustness(benchmark):
+    """Extension: attribute poisoning of the test nodes (Section II-C's
+    attribute-perturbation axis).  AnECI's structural community signal
+    should keep it ahead of the raw-feature probe under heavy pollution."""
+
+    def run():
+        graph = load("cora")
+        attacked = FeatureAttack(flips_per_node=25, informed=True,
+                                 seed=2).attack(
+            graph, targets=graph.test_idx).graph
+        rows = {}
+        rows["Raw features"] = evaluate_embedding(attacked.features,
+                                                  attacked)
+        gcn = B.GCNClassifier(epochs=EPOCHS["supervised"],
+                              seed=0).fit(attacked)
+        rows["GCN"] = accuracy(graph.labels[graph.test_idx],
+                               gcn.predict()[graph.test_idx])
+        z = aneci_model(attacked, seed=0).fit_transform(attacked)
+        rows["AnECI"] = evaluate_embedding(z, attacked)
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Feature-attack accuracy (cora)",
+                {k: {"acc": v} for k, v in rows.items()})
+    save_results("supp_feature_attack", rows)
+    assert rows["AnECI"] > rows["Raw features"]

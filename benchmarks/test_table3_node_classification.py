@@ -1,0 +1,55 @@
+"""Table III — node classification accuracy on clean datasets.
+
+Paper protocol: unsupervised methods feed a logistic-regression probe
+trained on the planetoid split; semi-supervised methods predict directly;
+AnECI should beat every unsupervised baseline (and the paper's numbers
+show it ahead of the semi-supervised ones on 3/4 datasets).
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics import accuracy
+from repro.tasks import evaluate_embedding
+
+from _harness import (aneci_model, embedding_methods, load, print_table,
+                      save_results, supervised_methods)
+
+DATASETS = ["cora", "citeseer", "polblogs", "pubmed"]
+
+
+def run_dataset(name: str, rounds: int = 2) -> dict[str, float]:
+    graph = load(name)
+    scores: dict[str, list[float]] = {}
+
+    for seed in range(rounds):
+        for method_name, method in embedding_methods(graph, seed=seed).items():
+            z = method.fit_transform(graph)
+            scores.setdefault(method_name, []).append(
+                evaluate_embedding(z, graph, seed=seed))
+        for method_name, method in supervised_methods(seed=seed).items():
+            pred = method.fit(graph).predict()
+            acc = accuracy(graph.labels[graph.test_idx],
+                           pred[graph.test_idx])
+            scores.setdefault(method_name, []).append(acc)
+        z = aneci_model(graph, seed=seed).fit_transform(graph)
+        scores.setdefault("AnECI", []).append(
+            evaluate_embedding(z, graph, seed=seed))
+
+    return {name: float(np.mean(vals)) for name, vals in scores.items()}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_table3(benchmark, dataset):
+    result = benchmark.pedantic(run_dataset, args=(dataset,), rounds=1,
+                                iterations=1)
+    print_table(f"Table III ({dataset})", {k: {"acc": v}
+                                           for k, v in result.items()})
+    save_results(f"table3_{dataset}", result)
+
+    unsupervised = {k: v for k, v in result.items()
+                    if k not in {"GCN", "GAT", "RGCN", "AnECI"}}
+    best_baseline = max(unsupervised.values())
+    # Shape check: AnECI within noise of (or above) the best unsupervised
+    # baseline; the paper reports it strictly best on 3/4 datasets.
+    assert result["AnECI"] >= best_baseline - 0.1

@@ -1,0 +1,49 @@
+"""Table V — running-time comparison across methods.
+
+The paper reports per-epoch and total seconds per method per dataset; on
+our CPU/numpy substrate the absolute numbers differ, but the *ordering*
+should hold: GCN-style methods (AnECI, GAE, DGI, AGE) are fast, the
+dual-AE and sampling methods (DANE, CFANE, DeepWalk, LINE) are slower.
+"""
+
+import time
+
+from repro import baselines as B
+
+from _harness import (aneci_model, embedding_methods, load, print_table,
+                      save_results)
+
+
+def run(dataset: str = "cora") -> dict[str, dict[str, float]]:
+    graph = load(dataset)
+    timings: dict[str, dict[str, float]] = {}
+
+    methods = dict(embedding_methods(graph, seed=0))
+    methods["DANE"] = B.DANE(epochs=60, seed=0)
+    methods["CFANE"] = B.CFANE(epochs=60, seed=0)
+    for name, method in methods.items():
+        start = time.perf_counter()
+        method.fit(graph)
+        total = time.perf_counter() - start
+        epochs = getattr(method, "epochs", None)
+        timings[name] = {"total_s": total}
+        if epochs:
+            timings[name]["per_epoch_s"] = total / epochs
+
+    model = aneci_model(graph, seed=0)
+    start = time.perf_counter()
+    model.fit(graph)
+    total = time.perf_counter() - start
+    timings["AnECI"] = {"total_s": total,
+                        "per_epoch_s": total / model.config.epochs}
+    return timings
+
+
+def test_table5(benchmark):
+    timings = benchmark.pedantic(run, rounds=1, iterations=1)
+    print_table("Table V running time (cora)", timings)
+    save_results("table5_running_time", timings)
+
+    # Shape: AnECI is in the fast (GCN-family) tier — within a small
+    # factor of GAE and much faster than the dual-AE methods.
+    assert timings["AnECI"]["total_s"] < 4 * timings["GAE"]["total_s"]

@@ -1,0 +1,50 @@
+"""Anomaly detection: find planted community outliers with AnECI.
+
+Seeds 5% structural/attribute/combined outliers into a graph and compares
+AnECI's membership-entropy anomaly score against Dominant's reconstruction
+score and an isolation forest over GAE embeddings (the paper's Fig. 6
+protocol).
+
+Run:  python examples/anomaly_detection.py
+"""
+
+import numpy as np
+
+from repro import AnECI, load_dataset
+from repro.anomalies import seed_outliers
+from repro.baselines import GAE, Dominant
+from repro.tasks import anomaly_auc, isolation_forest_scores
+
+
+def main():
+    graph = load_dataset("citeseer", scale=0.2, seed=0)
+    rng = np.random.default_rng(42)
+    augmented, outlier_mask = seed_outliers(graph, rng, fraction=0.05,
+                                            kind="mix")
+    print(f"Planted {int(outlier_mask.sum())} outliers into {graph.name} "
+          f"({augmented.num_nodes} nodes total)\n")
+
+    aucs = {}
+
+    model = AnECI(augmented.num_features,
+                  num_communities=graph.num_classes,
+                  epochs=120, lr=0.02, patience=20)
+    model.fit(augmented)
+    aucs["AnECI (membership entropy)"] = anomaly_auc(
+        outlier_mask, model.anomaly_scores())
+
+    dominant = Dominant(epochs=80, seed=0).fit(augmented)
+    aucs["Dominant (reconstruction)"] = anomaly_auc(
+        outlier_mask, dominant.anomaly_scores())
+
+    gae = GAE(epochs=80, seed=0).fit(augmented)
+    aucs["GAE + isolation forest"] = anomaly_auc(
+        outlier_mask, isolation_forest_scores(gae.embed(), seed=0))
+
+    print(f"{'method':32s} {'ROC-AUC':>8s}")
+    for name, auc in sorted(aucs.items(), key=lambda kv: -kv[1]):
+        print(f"{name:32s} {auc:>8.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Robustness demo: AnECI vs. GAE under a random poisoning attack.
+
+Reproduces the paper's central claim on a small graph: when fake edges are
+injected, community-preserving embeddings degrade far less than pairwise
+reconstruction embeddings — and AnECI+'s denoising recovers further.
+
+Run:  python examples/robust_embedding_under_attack.py
+"""
+
+from repro import AnECI, AnECIPlus, load_dataset
+from repro.attacks import RandomAttack
+from repro.baselines import GAE
+from repro.core import defense_score
+from repro.tasks import evaluate_embedding
+
+
+def main():
+    graph = load_dataset("cora", scale=0.2, seed=0)
+    print(f"Clean graph: {graph}")
+
+    attack = RandomAttack(perturbation_rate=0.3, seed=7)
+    result = attack.attack(graph)
+    attacked = result.graph
+    print(f"Injected {len(result.added_edges)} fake edges "
+          f"({attacked.num_edges} total)\n")
+
+    rows = []
+    for name, make in {
+        "GAE": lambda: GAE(epochs=100, seed=0),
+        "AnECI": lambda: AnECI(graph.num_features,
+                               num_communities=graph.num_classes,
+                               epochs=100, lr=0.02),
+    }.items():
+        clean_acc = evaluate_embedding(make().fit_transform(graph), graph)
+        z_attacked = make().fit_transform(attacked)
+        attacked_acc = evaluate_embedding(z_attacked, attacked)
+        ds = defense_score(z_attacked, graph.edge_list(), result.added_edges)
+        rows.append((name, clean_acc, attacked_acc, ds))
+
+    plus = AnECIPlus(graph.num_features, num_communities=graph.num_classes,
+                     epochs=100, lr=0.02, alpha=2.2)
+    plus.fit(attacked)
+    plus_acc = evaluate_embedding(plus.stage2.embed(attacked), attacked)
+    dropped = plus.denoise_result
+    print(f"AnECI+ dropped {dropped.num_dropped} edges "
+          f"(ratio {dropped.drop_ratio:.2f}) during denoising\n")
+
+    print(f"{'method':10s} {'clean acc':>10s} {'attacked acc':>13s} "
+          f"{'defense score':>14s}")
+    for name, clean, att, ds in rows:
+        print(f"{name:10s} {clean:>10.3f} {att:>13.3f} {ds:>14.2f}")
+    print(f"{'AnECI+':10s} {'':>10s} {plus_acc:>13.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Outlier seeding for the anomaly-detection experiments."""
+
+from .seeding import OUTLIER_KINDS, seed_outliers
+
+__all__ = ["seed_outliers", "OUTLIER_KINDS"]

@@ -1,0 +1,147 @@
+"""Community-outlier seeding (Section V-C, following ONE).
+
+Three outlier types are planted as *new* nodes appended to the graph, each
+crafted so that neither its degree nor its attribute sparsity is trivially
+abnormal (the paper's seeding requirement):
+
+* **structural** — attributes copied from a normal member of class ``c``
+  (looks normal attribute-wise) but edges wired uniformly across the whole
+  graph, ignoring the community structure.
+* **attribute** — edges wired like a normal member of class ``c``
+  (respecting the empirical mixing rate) but attributes drawn from the
+  global per-column marginal, destroying class correlation at matched
+  sparsity.
+* **combined** — edges of one class, attributes of a *different* class:
+  each view alone looks normal, their combination does not.
+* **mix** — one third of each type (the paper's 'Mix' column in Fig. 6).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.graph import Graph
+
+__all__ = ["seed_outliers", "OUTLIER_KINDS"]
+
+OUTLIER_KINDS = ("structural", "attribute", "combined", "mix")
+
+
+def seed_outliers(graph: Graph, rng: np.random.Generator,
+                  fraction: float = 0.05,
+                  kind: str = "mix") -> tuple[Graph, np.ndarray]:
+    """Plant outlier nodes into ``graph``.
+
+    Returns ``(augmented_graph, outlier_mask)`` where the mask flags the
+    appended outlier nodes (all original nodes are False).
+    """
+    if kind not in OUTLIER_KINDS:
+        raise ValueError(f"kind must be one of {OUTLIER_KINDS}")
+    if not 0.0 < fraction < 1.0:
+        raise ValueError("fraction must be in (0, 1)")
+    if graph.labels is None:
+        raise ValueError("outlier seeding needs class labels")
+
+    num_outliers = max(1, int(round(graph.num_nodes * fraction)))
+    if kind == "mix":
+        kinds = np.array(["structural", "attribute", "combined"])[
+            np.arange(num_outliers) % 3]
+        rng.shuffle(kinds)
+    else:
+        kinds = np.array([kind] * num_outliers)
+
+    n = graph.num_nodes
+    degrees = graph.degrees().astype(int)
+    degrees = degrees[degrees > 0]
+    mixing = _empirical_mixing(graph)
+    labels = graph.labels
+    classes = np.unique(labels)
+
+    new_rows: list[np.ndarray] = []
+    new_features: list[np.ndarray] = []
+    new_labels: list[int] = []
+    for i, this_kind in enumerate(kinds):
+        node_id = n + i
+        c_struct = int(rng.choice(classes))
+        degree = int(np.clip(rng.choice(degrees), 2, None))
+
+        if this_kind == "structural":
+            neighbours = _uniform_neighbours(n, degree, rng)
+            features = _class_like_features(graph, c_struct, rng)
+            new_labels.append(c_struct)
+        elif this_kind == "attribute":
+            neighbours = _class_like_neighbours(labels, c_struct, mixing,
+                                                degree, rng)
+            features = _marginal_features(graph, rng)
+            new_labels.append(c_struct)
+        else:  # combined
+            c_attr = int(rng.choice(classes[classes != c_struct])) \
+                if len(classes) > 1 else c_struct
+            neighbours = _class_like_neighbours(labels, c_struct, mixing,
+                                                degree, rng)
+            features = _class_like_features(graph, c_attr, rng)
+            new_labels.append(c_struct)
+        new_rows.append(np.unique(neighbours))
+        new_features.append(features)
+
+    total = n + num_outliers
+    adj = sp.lil_matrix((total, total))
+    adj[:n, :n] = graph.adjacency
+    for i, neighbours in enumerate(new_rows):
+        adj[n + i, neighbours] = 1.0
+        adj[neighbours, n + i] = 1.0
+    features = np.vstack([graph.features, np.array(new_features)])
+    labels_out = np.concatenate([labels, np.array(new_labels)])
+    mask = np.zeros(total, dtype=bool)
+    mask[n:] = True
+
+    augmented = Graph(
+        adjacency=adj.tocsr(), features=features, labels=labels_out,
+        train_idx=graph.train_idx, val_idx=graph.val_idx,
+        test_idx=graph.test_idx, name=graph.name,
+        metadata={**graph.metadata, "outliers": kind, "fraction": fraction})
+    return augmented, mask
+
+
+def _empirical_mixing(graph: Graph) -> float:
+    """Fraction of edges crossing community boundaries."""
+    edges = graph.edge_list()
+    if len(edges) == 0:
+        return 0.5
+    labels = graph.labels
+    return float(np.mean(labels[edges[:, 0]] != labels[edges[:, 1]]))
+
+
+def _uniform_neighbours(n: int, degree: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.choice(n, size=min(degree, n), replace=False)
+
+
+def _class_like_neighbours(labels: np.ndarray, c: int, mixing: float,
+                           degree: int, rng: np.random.Generator) -> np.ndarray:
+    members = np.flatnonzero(labels == c)
+    others = np.flatnonzero(labels != c)
+    n_out = int(round(degree * mixing))
+    n_in = degree - n_out
+    chosen = [rng.choice(members, size=min(n_in, members.size), replace=False)]
+    if n_out and others.size:
+        chosen.append(rng.choice(others, size=min(n_out, others.size),
+                                 replace=False))
+    return np.concatenate(chosen)
+
+
+def _class_like_features(graph: Graph, c: int,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Copy a random member's attributes, resampling a few entries."""
+    members = np.flatnonzero(graph.labels == c)
+    template = graph.features[rng.choice(members)].copy()
+    flip = rng.random(template.size) < 0.02
+    column_means = graph.features.mean(axis=0)
+    template[flip] = (rng.random(flip.sum()) < column_means[flip]).astype(float)
+    return template
+
+
+def _marginal_features(graph: Graph, rng: np.random.Generator) -> np.ndarray:
+    """Sample each attribute independently from its global marginal."""
+    column_means = graph.features.mean(axis=0)
+    return (rng.random(column_means.size) < column_means).astype(float)

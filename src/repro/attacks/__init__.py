@@ -1,0 +1,14 @@
+"""Adversarial attacks: Random (non-targeted), FGA and NETTACK (targeted)."""
+
+from .base import Attack, AttackResult, select_target_nodes
+from .dice import DICE
+from .feature_attack import FeatureAttack
+from .fga import FGA
+from .metattack import Metattack
+from .nettack import Nettack
+from .random_attack import RandomAttack
+from .surrogate import LinearSurrogate
+
+__all__ = ["Attack", "AttackResult", "select_target_nodes",
+           "RandomAttack", "DICE", "FGA", "Nettack", "Metattack",
+           "FeatureAttack", "LinearSurrogate"]

@@ -1,0 +1,67 @@
+"""Shared attack interfaces and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["AttackResult", "Attack", "select_target_nodes"]
+
+
+@dataclass
+class AttackResult:
+    """Outcome of a (poisoning) attack.
+
+    Attributes
+    ----------
+    graph:
+        The perturbed graph.
+    added_edges / removed_edges:
+        Edge arrays describing the perturbation, ``(m, 2)`` each.
+    targets:
+        Attacked node ids for targeted attacks; empty for non-targeted.
+    """
+
+    graph: Graph
+    added_edges: np.ndarray
+    removed_edges: np.ndarray
+    targets: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.int64))
+
+    @property
+    def num_perturbations(self) -> int:
+        return len(self.added_edges) + len(self.removed_edges)
+
+
+class Attack:
+    """Base class; subclasses implement :meth:`attack`."""
+
+    def attack(self, graph: Graph, **kwargs) -> AttackResult:
+        raise NotImplementedError
+
+
+def select_target_nodes(graph: Graph, min_degree: int = 10,
+                        pool: np.ndarray | None = None,
+                        limit: int | None = None,
+                        rng: np.random.Generator | None = None) -> np.ndarray:
+    """The paper's target selection: test nodes with degree > ``min_degree``.
+
+    Falls back to the highest-degree pool nodes when the strict threshold
+    leaves nothing (small scaled-down graphs).
+    """
+    pool = graph.test_idx if pool is None else np.asarray(pool)
+    if pool is None:
+        raise ValueError("graph has no test split and no pool was given")
+    degrees = graph.degrees()
+    targets = pool[degrees[pool] > min_degree]
+    if targets.size == 0:
+        order = np.argsort(degrees[pool])[::-1]
+        targets = pool[order[:max(10, len(pool) // 20)]]
+    if limit is not None and targets.size > limit:
+        if rng is None:
+            targets = targets[:limit]
+        else:
+            targets = rng.choice(targets, size=limit, replace=False)
+    return np.sort(targets)

@@ -1,0 +1,81 @@
+"""DICE — "Delete Internally, Connect Externally" (Waniek et al., 2018).
+
+A label-aware non-targeted poisoning attack: half the budget removes
+within-community edges, half adds cross-community edges.  Stronger than
+the purely random attack against community-preserving models, so it
+serves as the harder robustness probe in the extension benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .base import Attack, AttackResult
+
+__all__ = ["DICE"]
+
+
+class DICE(Attack):
+    """Budgeted delete-internal / connect-external perturbation.
+
+    Parameters
+    ----------
+    perturbation_rate:
+        Total budget as a fraction of ``|E|``.
+    add_ratio:
+        Fraction of the budget spent on adding external edges (the rest
+        removes internal edges).
+    """
+
+    def __init__(self, perturbation_rate: float, add_ratio: float = 0.5,
+                 seed: int = 0):
+        if perturbation_rate < 0:
+            raise ValueError("perturbation rate must be non-negative")
+        if not 0.0 <= add_ratio <= 1.0:
+            raise ValueError("add_ratio must be in [0, 1]")
+        self.perturbation_rate = perturbation_rate
+        self.add_ratio = add_ratio
+        self.seed = seed
+
+    def attack(self, graph: Graph) -> AttackResult:
+        if graph.labels is None:
+            raise ValueError("DICE needs community labels")
+        rng = np.random.default_rng(self.seed)
+        budget = int(round(self.perturbation_rate * graph.num_edges))
+        num_add = int(round(budget * self.add_ratio))
+        num_remove = budget - num_add
+        labels = graph.labels
+
+        edges = graph.edge_list()
+        internal = edges[labels[edges[:, 0]] == labels[edges[:, 1]]]
+        num_remove = min(num_remove, len(internal))
+        removed = internal[rng.choice(len(internal), size=num_remove,
+                                      replace=False)] if num_remove else \
+            np.empty((0, 2), dtype=np.int64)
+
+        existing = graph.edge_set()
+        added: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        n = graph.num_nodes
+        attempts = 0
+        while len(added) < num_add and attempts < 100 * max(num_add, 1):
+            attempts += 1
+            u, v = rng.integers(0, n, size=2)
+            if u == v or labels[u] == labels[v]:
+                continue
+            edge = (int(min(u, v)), int(max(u, v)))
+            if edge in existing or edge in seen:
+                continue
+            seen.add(edge)
+            added.append(edge)
+
+        attacked = graph
+        if len(removed):
+            attacked = attacked.remove_edges(removed)
+        if added:
+            attacked = attacked.add_edges(added)
+        return AttackResult(
+            graph=attacked,
+            added_edges=np.array(added, dtype=np.int64).reshape(-1, 2),
+            removed_edges=np.asarray(removed, dtype=np.int64).reshape(-1, 2))

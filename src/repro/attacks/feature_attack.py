@@ -1,0 +1,94 @@
+"""Feature-perturbation attack (attribute poisoning).
+
+The adversarial-attack taxonomy of Section II-C includes attribute
+perturbations alongside edge flips; this attack flips a budgeted number
+of binary feature entries, either globally (non-targeted) or on chosen
+target nodes (direct targeted attack).  Flips are biased toward the
+entries most indicative of each node's class (the class's topic words),
+which is what a worst-case attribute attacker would do.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .base import Attack, AttackResult
+
+__all__ = ["FeatureAttack"]
+
+
+class FeatureAttack(Attack):
+    """Flip binary feature entries to pollute node attributes.
+
+    Parameters
+    ----------
+    flips_per_node:
+        Number of feature entries flipped per attacked node.
+    informed:
+        When True (and labels exist) the attack turns *off* the node's
+        class-indicative words and turns *on* another class's — much more
+        damaging than uniform flips.
+    """
+
+    def __init__(self, flips_per_node: int = 10, informed: bool = True,
+                 seed: int = 0):
+        if flips_per_node < 1:
+            raise ValueError("flips_per_node must be >= 1")
+        self.flips_per_node = flips_per_node
+        self.informed = informed
+        self.seed = seed
+
+    def attack(self, graph: Graph,
+               targets: np.ndarray | None = None) -> AttackResult:
+        rng = np.random.default_rng(self.seed)
+        features = graph.features.copy()
+        if targets is None:
+            targets = np.arange(graph.num_nodes)
+        targets = np.asarray(targets)
+
+        if self.informed and graph.labels is not None:
+            class_profiles = self._class_profiles(graph)
+            for node in targets:
+                self._informed_flip(features, node, int(graph.labels[node]),
+                                    class_profiles, rng)
+        else:
+            for node in targets:
+                columns = rng.choice(features.shape[1],
+                                     size=min(self.flips_per_node,
+                                              features.shape[1]),
+                                     replace=False)
+                features[node, columns] = 1.0 - (features[node, columns] > 0)
+
+        attacked = graph.with_features(features)
+        return AttackResult(
+            graph=attacked,
+            added_edges=np.empty((0, 2), dtype=np.int64),
+            removed_edges=np.empty((0, 2), dtype=np.int64),
+            targets=targets)
+
+    @staticmethod
+    def _class_profiles(graph: Graph) -> np.ndarray:
+        """(num_classes, d) per-class mean feature activation."""
+        profiles = np.zeros((graph.num_classes, graph.num_features))
+        for c in range(graph.num_classes):
+            members = np.flatnonzero(graph.labels == c)
+            profiles[c] = graph.features[members].mean(axis=0)
+        return profiles
+
+    def _informed_flip(self, features: np.ndarray, node: int, label: int,
+                       profiles: np.ndarray, rng: np.random.Generator) -> None:
+        budget = self.flips_per_node
+        # Half the budget erases the node's own strongest class words.
+        own_active = np.flatnonzero(features[node] > 0)
+        if own_active.size:
+            strength = profiles[label][own_active]
+            erase = own_active[np.argsort(strength)[::-1][:budget // 2]]
+            features[node, erase] = 0.0
+            budget -= len(erase)
+        # The rest plants another class's words.
+        other = int(rng.choice([c for c in range(profiles.shape[0])
+                                if c != label])) if profiles.shape[0] > 1 \
+            else label
+        plant = np.argsort(profiles[other])[::-1][:budget]
+        features[node, plant] = 1.0

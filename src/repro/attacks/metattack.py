@@ -1,0 +1,116 @@
+"""Metattack-style global (non-targeted) gradient poisoning.
+
+A simplified variant of Zügner & Günnemann's Metattack: instead of
+differentiating through the whole inner training loop, the attack uses
+the self-training approximation — the surrogate is trained once on the
+clean graph, pseudo-labels fill in the unlabelled nodes, and the
+meta-gradient of the *overall* training loss with respect to the dense
+adjacency ranks global edge flips.  Flips are applied greedily with the
+gradient re-derived after each batch.
+
+This is the global analogue of :class:`repro.attacks.fga.FGA` (which
+perturbs edges incident to one target); it degrades the whole graph's
+classification accuracy.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..nn import Tensor, functional as F
+from .base import Attack, AttackResult
+from .surrogate import LinearSurrogate
+
+__all__ = ["Metattack"]
+
+
+class Metattack(Attack):
+    """Greedy global edge flips by meta-gradient ranking.
+
+    Parameters
+    ----------
+    perturbation_rate:
+        Budget as a fraction of ``|E|``.
+    flips_per_step:
+        Edges flipped per gradient evaluation (larger = faster, less
+        precise).
+    """
+
+    def __init__(self, perturbation_rate: float, flips_per_step: int = 5,
+                 surrogate: LinearSurrogate | None = None, seed: int = 0):
+        if perturbation_rate < 0:
+            raise ValueError("perturbation rate must be non-negative")
+        if flips_per_step < 1:
+            raise ValueError("flips_per_step must be >= 1")
+        self.perturbation_rate = perturbation_rate
+        self.flips_per_step = flips_per_step
+        self.surrogate = surrogate
+        self.seed = seed
+
+    def attack(self, graph: Graph) -> AttackResult:
+        if graph.labels is None or graph.train_idx is None:
+            raise ValueError("Metattack needs labels and a train split")
+        surrogate = self.surrogate or LinearSurrogate(seed=self.seed).fit(graph)
+
+        # Self-training labels: ground truth on train, predictions elsewhere.
+        pseudo = surrogate.predict(graph.adjacency, graph.features)
+        pseudo[graph.train_idx] = graph.labels[graph.train_idx]
+        hidden = surrogate.hidden(graph.features) + surrogate.bias
+
+        budget = int(round(self.perturbation_rate * graph.num_edges))
+        bar_a = graph.adjacency.toarray() + np.eye(graph.num_nodes)
+        added, removed = [], []
+        while len(added) + len(removed) < budget:
+            grad = self._meta_gradient(bar_a, hidden, pseudo)
+            flips = self._top_flips(
+                grad, bar_a,
+                min(self.flips_per_step, budget - len(added) - len(removed)))
+            if not flips:
+                break
+            for u, v in flips:
+                if bar_a[u, v] == 0:
+                    bar_a[u, v] = bar_a[v, u] = 1.0
+                    added.append((u, v))
+                else:
+                    bar_a[u, v] = bar_a[v, u] = 0.0
+                    removed.append((u, v))
+
+        attacked = graph
+        if added:
+            attacked = attacked.add_edges(added)
+        if removed:
+            attacked = attacked.remove_edges(removed)
+        return AttackResult(
+            graph=attacked,
+            added_edges=np.array(added, dtype=np.int64).reshape(-1, 2),
+            removed_edges=np.array(removed, dtype=np.int64).reshape(-1, 2))
+
+    @staticmethod
+    def _meta_gradient(bar_a: np.ndarray, hidden: np.ndarray,
+                       pseudo: np.ndarray) -> np.ndarray:
+        a = Tensor(bar_a, requires_grad=True)
+        inv_sqrt = a.sum(axis=1) ** -0.5
+        norm = a * inv_sqrt.reshape(-1, 1) * inv_sqrt.reshape(1, -1)
+        logits = norm @ (norm @ Tensor(hidden))
+        loss = F.cross_entropy(logits, pseudo)
+        loss.backward()
+        grad = a.grad
+        return grad + grad.T
+
+    @staticmethod
+    def _top_flips(grad: np.ndarray, bar_a: np.ndarray,
+                   count: int) -> list[tuple[int, int]]:
+        """Highest-scoring valid flips (loss-increasing direction)."""
+        present = bar_a > 0
+        score = np.where(present, -grad, grad)
+        np.fill_diagonal(score, -np.inf)
+        score = np.triu(score, k=1) + np.tril(np.full_like(score, -np.inf))
+        flat = np.argsort(score, axis=None)[::-1][:count]
+        flips = []
+        for index in flat:
+            u, v = np.unravel_index(index, score.shape)
+            if score[u, v] <= 0:
+                break
+            flips.append((int(u), int(v)))
+        return flips

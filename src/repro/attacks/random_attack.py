@@ -1,0 +1,49 @@
+"""Random (non-targeted) poisoning attack: inject fake edges.
+
+Used for the defense-score analysis (Fig. 2) and the non-targeted
+classification experiment (Fig. 5): ``δ·|E|`` edges between uniformly
+random non-adjacent node pairs are added to the graph before training.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .base import Attack, AttackResult
+
+__all__ = ["RandomAttack"]
+
+
+class RandomAttack(Attack):
+    """Add ``perturbation_rate × M`` random fake edges."""
+
+    def __init__(self, perturbation_rate: float, seed: int = 0):
+        if perturbation_rate < 0:
+            raise ValueError("perturbation rate must be non-negative")
+        self.perturbation_rate = perturbation_rate
+        self.seed = seed
+
+    def attack(self, graph: Graph) -> AttackResult:
+        rng = np.random.default_rng(self.seed)
+        num_fake = int(round(self.perturbation_rate * graph.num_edges))
+        existing = graph.edge_set()
+        fakes: list[tuple[int, int]] = []
+        seen: set[tuple[int, int]] = set()
+        n = graph.num_nodes
+        max_possible = n * (n - 1) // 2 - len(existing)
+        num_fake = min(num_fake, max_possible)
+        while len(fakes) < num_fake:
+            u, v = rng.integers(0, n, size=2)
+            if u == v:
+                continue
+            edge = (int(min(u, v)), int(max(u, v)))
+            if edge in existing or edge in seen:
+                continue
+            seen.add(edge)
+            fakes.append(edge)
+        added = np.array(fakes, dtype=np.int64).reshape(-1, 2)
+        attacked = graph.add_edges(added) if len(added) else graph
+        return AttackResult(
+            graph=attacked, added_edges=added,
+            removed_edges=np.empty((0, 2), dtype=np.int64))

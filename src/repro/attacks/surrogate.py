@@ -1,0 +1,62 @@
+"""Linearised-GCN surrogate shared by FGA and NETTACK.
+
+Both targeted attacks in the paper (Zügner et al.'s NETTACK and Chen et
+al.'s FGA) operate on a two-layer GCN whose nonlinearity is dropped:
+``logits = Â² X W``.  The surrogate weight ``W`` is trained once on the
+clean graph with softmax regression over ``Â² X`` features.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.graph import Graph, normalized_adjacency
+from ..tasks.classification import LogisticRegression
+
+__all__ = ["LinearSurrogate"]
+
+
+class LinearSurrogate:
+    """``logits = Â² X W`` with W fitted on the training split."""
+
+    def __init__(self, epochs: int = 300, l2: float = 1e-4, seed: int = 0):
+        self.epochs = epochs
+        self.l2 = l2
+        self.seed = seed
+        self.weight: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+
+    def fit(self, graph: Graph) -> "LinearSurrogate":
+        if graph.labels is None or graph.train_idx is None:
+            raise ValueError("surrogate needs labels and a train split")
+        propagated = self.propagate(graph.adjacency, graph.features)
+        clf = LogisticRegression(l2=self.l2, epochs=self.epochs,
+                                 seed=self.seed)
+        clf.fit(propagated[graph.train_idx], graph.labels[graph.train_idx],
+                num_classes=graph.num_classes)
+        self.weight = clf.weight
+        self.bias = clf.bias
+        return self
+
+    @staticmethod
+    def propagate(adjacency: sp.spmatrix, features: np.ndarray) -> np.ndarray:
+        """Two-hop propagation ``Â² X``."""
+        norm = normalized_adjacency(adjacency)
+        return norm @ (norm @ features)
+
+    def logits(self, adjacency: sp.spmatrix, features: np.ndarray) -> np.ndarray:
+        self._check_fitted()
+        return self.propagate(adjacency, features) @ self.weight + self.bias
+
+    def hidden(self, features: np.ndarray) -> np.ndarray:
+        """``H = X W`` — the propagation-independent part of the logits."""
+        self._check_fitted()
+        return features @ self.weight
+
+    def predict(self, adjacency: sp.spmatrix, features: np.ndarray) -> np.ndarray:
+        return self.logits(adjacency, features).argmax(axis=1)
+
+    def _check_fitted(self) -> None:
+        if self.weight is None:
+            raise RuntimeError("call fit() first")

@@ -1,0 +1,35 @@
+"""Baseline methods from the paper's Section V-B.
+
+Unsupervised embeddings: DeepWalk, LINE, GAE, VGAE, DGI, DANE, AGE,
+DONE/ADONE, CFANE; anomaly specialists: Dominant, AnomalyDAE; community
+specialists: vGraph, ComE; semi-supervised classifiers: GCN, GAT, RGCN.
+"""
+
+from .age import AGE
+from .anomalydae import AnomalyDAE
+from .base import (EmbeddingMethod, SupervisedMethod, available_methods,
+                   get_method, register)
+from .cfane import CFANE
+from .come import ComE
+from .dane import DANE
+from .deepwalk import DeepWalk
+from .dgi import DGI
+from .dominant import Dominant
+from .done import ADONE, DONE
+from .gae import GAE, VGAE
+from .gate import GATE
+from .gcn_supervised import GATClassifier, GCNClassifier, RGCNClassifier
+from .graphsage import GraphSAGE
+from .line import LINE
+from .one import ONE
+from .sdne import SDNE
+from .vgraph import VGraph
+
+__all__ = [
+    "EmbeddingMethod", "SupervisedMethod", "register", "get_method",
+    "available_methods",
+    "DeepWalk", "LINE", "GAE", "VGAE", "DGI", "DANE", "AGE", "DONE", "ADONE",
+    "CFANE", "Dominant", "AnomalyDAE", "VGraph", "ComE", "SDNE", "GraphSAGE",
+    "GATE", "ONE",
+    "GCNClassifier", "GATClassifier", "RGCNClassifier",
+]

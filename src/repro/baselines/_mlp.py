@@ -1,0 +1,44 @@
+"""Small MLP/autoencoder building blocks shared by the AE-based baselines."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..nn import Linear, Module, Tensor
+
+__all__ = ["MLP", "Autoencoder"]
+
+
+class MLP(Module):
+    """Fully connected stack with LeakyReLU between layers."""
+
+    def __init__(self, dims: list[int], rng: np.random.Generator,
+                 final_activation: bool = False):
+        super().__init__()
+        if len(dims) < 2:
+            raise ValueError("MLP needs at least input and output widths")
+        self.layers = [Linear(dims[i], dims[i + 1], rng)
+                       for i in range(len(dims) - 1)]
+        self.final_activation = final_activation
+
+    def forward(self, x: Tensor) -> Tensor:
+        last = len(self.layers) - 1
+        for i, layer in enumerate(self.layers):
+            x = layer(x)
+            if i != last or self.final_activation:
+                x = x.leaky_relu(0.01)
+        return x
+
+
+class Autoencoder(Module):
+    """Symmetric encoder/decoder MLP pair around a bottleneck."""
+
+    def __init__(self, input_dim: int, hidden: int, bottleneck: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        self.encoder = MLP([input_dim, hidden, bottleneck], rng)
+        self.decoder = MLP([bottleneck, hidden, input_dim], rng)
+
+    def forward(self, x: Tensor) -> tuple[Tensor, Tensor]:
+        z = self.encoder(x)
+        return z, self.decoder(z)

@@ -1,0 +1,110 @@
+"""AGE (Cui et al., 2020) — Adaptive Graph Encoder.
+
+Two stages, as in the original: (1) a Laplacian smoothing filter applied
+``t`` times to the attributes (no training), then (2) a linear encoder
+trained with *adaptive* pseudo-labels: the most similar embedding pairs
+are treated as positives, the least similar as negatives, with thresholds
+tightened across iterations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.graph import Graph, normalized_adjacency
+from ..nn import Adam, Linear, Tensor, functional as F, no_grad
+from .base import EmbeddingMethod, register
+
+__all__ = ["AGE", "laplacian_smooth"]
+
+
+def laplacian_smooth(adjacency: sp.spmatrix, features: np.ndarray,
+                     times: int = 3, k: float = 2.0 / 3.0) -> np.ndarray:
+    """Apply the filter ``H ← (I − k·L_sym) H`` ``times`` times."""
+    norm = normalized_adjacency(adjacency)
+    n = norm.shape[0]
+    smoother = (1.0 - k) * sp.eye(n) + k * norm  # I − k(I − Â) = (1−k)I + kÂ
+    h = features
+    for _ in range(times):
+        h = smoother @ h
+    return np.asarray(h)
+
+
+@register("age")
+class AGE(EmbeddingMethod):
+    """Laplacian smoothing + adaptively supervised linear encoder."""
+
+    def __init__(self, dim: int = 64, smooth_times: int = 3,
+                 iterations: int = 4, epochs_per_iter: int = 30,
+                 lr: float = 0.005, pos_start: float = 0.01,
+                 neg_start: float = 0.5, pairs_per_iter: int = 4000,
+                 seed: int = 0):
+        self.dim = dim
+        self.smooth_times = smooth_times
+        self.iterations = iterations
+        self.epochs_per_iter = epochs_per_iter
+        self.lr = lr
+        self.pos_start = pos_start
+        self.neg_start = neg_start
+        self.pairs_per_iter = pairs_per_iter
+        self.seed = seed
+        self._encoder: Linear | None = None
+        self._smoothed: np.ndarray | None = None
+        self._graph: Graph | None = None
+
+    def fit(self, graph: Graph) -> "AGE":
+        rng = np.random.default_rng(self.seed)
+        smoothed = laplacian_smooth(graph.adjacency, graph.features,
+                                    self.smooth_times)
+        self._smoothed = smoothed
+        self._graph = graph
+        self._encoder = Linear(graph.num_features, self.dim, rng)
+        optimizer = Adam(self._encoder.parameters(), lr=self.lr)
+        x = Tensor(smoothed)
+        n = graph.num_nodes
+        for it in range(self.iterations):
+            with no_grad():
+                z = self._encoder(x).data
+            pairs, targets = self._pseudo_labels(z, rng, it)
+            for _ in range(self.epochs_per_iter):
+                optimizer.zero_grad()
+                z_t = self._encoder(x).l2_normalize()
+                scores = (z_t[pairs[:, 0]] * z_t[pairs[:, 1]]).sum(axis=1)
+                loss = F.binary_cross_entropy_with_logits(scores, targets,
+                                                          "mean")
+                loss.backward()
+                optimizer.step()
+        return self
+
+    def _pseudo_labels(self, z: np.ndarray, rng: np.random.Generator,
+                       iteration: int) -> tuple[np.ndarray, np.ndarray]:
+        """Rank sampled pairs by cosine similarity; tag extremes."""
+        n = z.shape[0]
+        num = min(self.pairs_per_iter, n * (n - 1) // 2)
+        pairs = rng.integers(0, n, size=(num * 3, 2))
+        pairs = pairs[pairs[:, 0] != pairs[:, 1]][:num]
+        norm = z / (np.linalg.norm(z, axis=1, keepdims=True) + 1e-12)
+        sims = np.sum(norm[pairs[:, 0]] * norm[pairs[:, 1]], axis=1)
+        order = np.argsort(sims)[::-1]
+        # Thresholds tighten linearly toward each other across iterations.
+        shrink = iteration / max(self.iterations, 1)
+        pos_rate = self.pos_start + 0.02 * shrink
+        neg_rate = self.neg_start - 0.2 * shrink
+        num_pos = max(1, int(pos_rate * num))
+        num_neg = max(1, int((1.0 - neg_rate) * num))
+        chosen = np.concatenate([order[:num_pos], order[-num_neg:]])
+        targets = np.concatenate([np.ones(num_pos), np.zeros(num_neg)])
+        return pairs[chosen], targets
+
+    def embed(self, graph: Graph | None = None) -> np.ndarray:
+        if self._encoder is None:
+            raise RuntimeError("call fit() first")
+        if graph is None or graph is self._graph:
+            smoothed = self._smoothed
+        else:
+            smoothed = laplacian_smooth(graph.adjacency, graph.features,
+                                        self.smooth_times)
+        with no_grad():
+            z = self._encoder(Tensor(smoothed))
+        return z.data.copy()

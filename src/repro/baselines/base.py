@@ -1,0 +1,77 @@
+"""Base interfaces and the registry for baseline methods.
+
+Two method families mirror the paper's Table III columns:
+
+* :class:`EmbeddingMethod` — unsupervised; produces node embeddings that
+  downstream probes consume.
+* :class:`SupervisedMethod` — semi-supervised; predicts labels directly
+  (GCN, GAT, RGCN columns).
+
+``register``/``get_method`` give the benchmark harness a uniform way to
+enumerate every baseline.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..graph.graph import Graph
+
+__all__ = ["EmbeddingMethod", "SupervisedMethod", "register", "get_method",
+           "available_methods"]
+
+_REGISTRY: dict[str, Callable[..., "EmbeddingMethod | SupervisedMethod"]] = {}
+
+
+class EmbeddingMethod:
+    """Unsupervised node-embedding method."""
+
+    name = "embedding-method"
+
+    def fit(self, graph: Graph) -> "EmbeddingMethod":
+        raise NotImplementedError
+
+    def embed(self, graph: Graph | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def fit_transform(self, graph: Graph) -> np.ndarray:
+        return self.fit(graph).embed(graph)
+
+    def anomaly_scores(self, graph: Graph | None = None) -> np.ndarray | None:
+        """Native anomaly scores, or ``None`` if the method has none
+        (the harness then falls back to the isolation forest)."""
+        return None
+
+
+class SupervisedMethod:
+    """Semi-supervised node classifier."""
+
+    name = "supervised-method"
+
+    def fit(self, graph: Graph) -> "SupervisedMethod":
+        raise NotImplementedError
+
+    def predict(self, graph: Graph | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+
+def register(name: str):
+    """Class decorator adding a constructor to the method registry."""
+    def decorator(cls):
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+    return decorator
+
+
+def get_method(name: str, **kwargs):
+    """Instantiate a registered method by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown method {name!r}; available: {available_methods()}")
+    return _REGISTRY[name](**kwargs)
+
+
+def available_methods() -> list[str]:
+    return sorted(_REGISTRY)

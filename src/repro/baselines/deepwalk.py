@@ -1,0 +1,166 @@
+"""DeepWalk (Perozzi et al., 2014).
+
+Uniform random walks feed a skip-gram model trained with negative
+sampling (SGNS).  Entirely numpy: walks are generated with CSR row
+lookups and the SGNS updates are mini-batched outer products.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.graph import Graph
+from .base import EmbeddingMethod, register
+
+__all__ = ["DeepWalk", "random_walks", "SkipGram"]
+
+
+def random_walks(adjacency: sp.csr_matrix, walks_per_node: int,
+                 walk_length: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random walks, one row per walk.
+
+    Walks stop early at isolated nodes; such rows are padded by repeating
+    the last node (harmless for skip-gram windows).
+    """
+    n = adjacency.shape[0]
+    indptr, indices = adjacency.indptr, adjacency.indices
+    walks = np.empty((n * walks_per_node, walk_length), dtype=np.int64)
+    row = 0
+    for _ in range(walks_per_node):
+        order = rng.permutation(n)
+        for start in order:
+            current = start
+            walks[row, 0] = current
+            for step in range(1, walk_length):
+                lo, hi = indptr[current], indptr[current + 1]
+                if hi > lo:
+                    current = indices[rng.integers(lo, hi)]
+                walks[row, step] = current
+            row += 1
+    return walks
+
+
+class SkipGram:
+    """Skip-gram with negative sampling over integer token sequences."""
+
+    def __init__(self, num_tokens: int, dim: int, window: int = 5,
+                 negatives: int = 5, lr: float = 0.2, epochs: int = 5,
+                 seed: int = 0, batch_size: int = 1024):
+        self.num_tokens = num_tokens
+        self.dim = dim
+        self.window = window
+        self.negatives = negatives
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.rng = np.random.default_rng(seed)
+        scale = 0.5 / dim
+        self.in_vectors = self.rng.uniform(-scale, scale, (num_tokens, dim))
+        self.out_vectors = np.zeros((num_tokens, dim))
+
+    def train(self, sequences: np.ndarray,
+              noise_distribution: np.ndarray | None = None) -> None:
+        if noise_distribution is None:
+            counts = np.bincount(sequences.ravel(), minlength=self.num_tokens)
+            noise_distribution = counts.astype(np.float64) ** 0.75
+        noise_distribution = noise_distribution / noise_distribution.sum()
+        centers, contexts = self._pairs(sequences)
+        order = self.rng.permutation(len(centers))
+        centers, contexts = centers[order], contexts[order]
+        for epoch in range(self.epochs):
+            lr = self.lr * (1.0 - epoch / max(self.epochs, 1)) + 1e-4
+            self._sgns_epoch(centers, contexts, noise_distribution, lr)
+
+    def _pairs(self, sequences: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        centers, contexts = [], []
+        length = sequences.shape[1]
+        for offset in range(1, self.window + 1):
+            if offset >= length:
+                break
+            left = sequences[:, :-offset].ravel()
+            right = sequences[:, offset:].ravel()
+            centers.append(left)
+            contexts.append(right)
+            centers.append(right)
+            contexts.append(left)
+        return np.concatenate(centers), np.concatenate(contexts)
+
+    def _sgns_epoch(self, centers, contexts, noise, lr,
+                    batch_size: int | None = None) -> None:
+        batch_size = batch_size or self.batch_size
+        num_pairs = len(centers)
+        for start in range(0, num_pairs, batch_size):
+            c = centers[start:start + batch_size]
+            o = contexts[start:start + batch_size]
+            negatives = self.rng.choice(
+                self.num_tokens, size=(len(c), self.negatives), p=noise)
+            v_c = self.in_vectors[c]                      # (b, d)
+            u_o = self.out_vectors[o]                     # (b, d)
+            u_n = self.out_vectors[negatives]             # (b, k, d)
+
+            pos_inner = np.clip(np.sum(v_c * u_o, axis=1), -10.0, 10.0)
+            neg_inner = np.clip(np.einsum("bd,bkd->bk", v_c, u_n),
+                                -10.0, 10.0)
+            pos_score = 1.0 / (1.0 + np.exp(-pos_inner))
+            neg_score = 1.0 / (1.0 + np.exp(-neg_inner))
+
+            grad_pos = (pos_score - 1.0)[:, None]          # (b, 1)
+            grad_c = grad_pos * u_o + np.einsum("bk,bkd->bd", neg_score, u_n)
+            grad_o = grad_pos * v_c
+            grad_n = neg_score[..., None] * v_c[:, None, :]
+
+            # A token repeated r times in the batch would receive r stale
+            # updates through add.at — an effective learning rate of r·lr
+            # that diverges on small vocabularies.  Normalising each
+            # token's accumulated gradient by its occurrence count keeps
+            # the per-token step at lr, approximating sequential SGD.
+            self._scatter_mean(self.in_vectors, c, -lr * grad_c)
+            self._scatter_mean(self.out_vectors, o, -lr * grad_o)
+            self._scatter_mean(self.out_vectors, negatives.ravel(),
+                               -lr * grad_n.reshape(-1, self.dim))
+
+    def _scatter_mean(self, table: np.ndarray, index: np.ndarray,
+                      updates: np.ndarray) -> None:
+        counts = np.bincount(index, minlength=table.shape[0])
+        accumulated = np.zeros_like(table)
+        np.add.at(accumulated, index, updates)
+        touched = counts > 0
+        table[touched] += accumulated[touched] / counts[touched, None]
+
+
+@register("deepwalk")
+class DeepWalk(EmbeddingMethod):
+    """DeepWalk with SGNS.
+
+    Parameters follow the original defaults, scaled down for CPU budgets:
+    10→``walks_per_node`` walks of length 40→``walk_length``.
+    """
+
+    def __init__(self, dim: int = 64, walks_per_node: int = 5,
+                 walk_length: int = 20, window: int = 5, negatives: int = 5,
+                 epochs: int = 5, seed: int = 0):
+        self.dim = dim
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.negatives = negatives
+        self.epochs = epochs
+        self.seed = seed
+        self._embedding: np.ndarray | None = None
+
+    def fit(self, graph: Graph) -> "DeepWalk":
+        rng = np.random.default_rng(self.seed)
+        walks = random_walks(graph.adjacency, self.walks_per_node,
+                             self.walk_length, rng)
+        model = SkipGram(graph.num_nodes, self.dim, window=self.window,
+                         negatives=self.negatives, epochs=self.epochs,
+                         seed=self.seed)
+        model.train(walks)
+        self._embedding = model.in_vectors
+        return self
+
+    def embed(self, graph: Graph | None = None) -> np.ndarray:
+        if self._embedding is None:
+            raise RuntimeError("call fit() first")
+        return self._embedding.copy()

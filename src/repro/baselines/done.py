@@ -1,0 +1,169 @@
+"""DONE and ADONE (Bandyopadhyay et al., 2020) — outlier-resistant embedding.
+
+DONE trains a structure autoencoder (over the transition matrix) and an
+attribute autoencoder jointly; every loss term is weighted per node by
+``log(1/oᵢ)`` where ``oᵢ`` is a learned outlier score, so outliers are
+down-weighted instead of polluting the embedding.  Homophily terms pull
+each node toward its neighbours and a matching term ties the two views.
+
+ADONE replaces the matching term with an adversarial discriminator that
+tries to tell structure embeddings from attribute embeddings.
+
+The per-node outlier scores are closed-form given the residuals (the
+Lagrangian solution of the original paper): ``oᵢ ∝ errᵢ``, normalised to
+sum to one per term; we use the combined residual for the reported
+anomaly score.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..graph.proximity import high_order_proximity
+from ..nn import Adam, Tensor, functional as F, no_grad
+from ._mlp import MLP, Autoencoder
+from .base import EmbeddingMethod, register
+
+__all__ = ["DONE", "ADONE"]
+
+
+class _DoneBase(EmbeddingMethod):
+    def __init__(self, dim: int = 32, hidden: int = 64, epochs: int = 100,
+                 lr: float = 0.005, homophily: float = 0.5,
+                 matching: float = 0.5, seed: int = 0):
+        self.dim = dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.homophily = homophily
+        self.matching = matching
+        self.seed = seed
+        self._nets = None
+        self._graph: Graph | None = None
+        self._outlier_scores: np.ndarray | None = None
+
+    # -- shared machinery ---------------------------------------------- #
+    def _prepare(self, graph: Graph, rng: np.random.Generator):
+        structure = high_order_proximity(graph.adjacency, order=2).toarray()
+        struct_ae = Autoencoder(graph.num_nodes, self.hidden, self.dim, rng)
+        attr_ae = Autoencoder(graph.num_features, self.hidden, self.dim, rng)
+        transition = graph.adjacency.multiply(
+            1.0 / np.maximum(graph.degrees(), 1)[:, None]).tocsr()
+        return structure, struct_ae, attr_ae, transition
+
+    @staticmethod
+    def _update_outlier_weights(residuals: np.ndarray) -> np.ndarray:
+        """Closed-form ``oᵢ ∝ residualᵢ`` normalised to a distribution."""
+        total = residuals.sum()
+        if total <= 0:
+            return np.full(residuals.size, 1.0 / residuals.size)
+        return residuals / total
+
+    def _weighted(self, per_node: Tensor, outliers: np.ndarray) -> Tensor:
+        weights = np.log(1.0 / np.clip(outliers, 1e-8, 1.0))
+        return (per_node * Tensor(weights)).mean()
+
+    def embed(self, graph: Graph | None = None) -> np.ndarray:
+        if self._nets is None:
+            raise RuntimeError("call fit() first")
+        struct_ae, attr_ae = self._nets[:2]
+        if graph is None or graph is self._graph:
+            structure = self._structure
+            features = self._graph.features
+        else:
+            structure = high_order_proximity(graph.adjacency, order=2).toarray()
+            features = graph.features
+        with no_grad():
+            z_s = struct_ae.encoder(Tensor(structure))
+            z_a = attr_ae.encoder(Tensor(features))
+        return np.hstack([z_s.data, z_a.data])
+
+    def anomaly_scores(self, graph: Graph | None = None) -> np.ndarray:
+        if self._outlier_scores is None:
+            raise RuntimeError("call fit() first")
+        return self._outlier_scores.copy()
+
+    # -- training loop, shared between DONE and ADONE ------------------- #
+    def fit(self, graph: Graph):
+        rng = np.random.default_rng(self.seed)
+        structure, struct_ae, attr_ae, transition = self._prepare(graph, rng)
+        self._structure = structure
+        self._graph = graph
+        extra = self._build_extra(rng)
+        self._nets = (struct_ae, attr_ae, extra)
+
+        x_struct = Tensor(structure)
+        x_attr = Tensor(graph.features)
+        n = graph.num_nodes
+        outliers = np.full(n, 1.0 / n)
+        params = list(struct_ae.parameters()) + list(attr_ae.parameters())
+        params += self._extra_parameters(extra)
+        optimizer = Adam(params, lr=self.lr)
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            z_s, rec_s = struct_ae(x_struct)
+            z_a, rec_a = attr_ae(x_attr)
+
+            err_s = ((rec_s - Tensor(structure)) ** 2).sum(axis=1)
+            err_a = ((rec_a - Tensor(graph.features)) ** 2).sum(axis=1)
+            hom_s = ((z_s - Tensor(transition @ z_s.data)) ** 2).sum(axis=1)
+            hom_a = ((z_a - Tensor(transition @ z_a.data)) ** 2).sum(axis=1)
+            loss = (self._weighted(err_s, outliers)
+                    + self._weighted(err_a, outliers)
+                    + self.homophily * self._weighted(hom_s, outliers)
+                    + self.homophily * self._weighted(hom_a, outliers))
+            loss = loss + self.matching * self._view_alignment(
+                z_s, z_a, extra, outliers)
+            loss.backward()
+            optimizer.step()
+
+            residual = (err_s.data + err_a.data
+                        + self.homophily * (hom_s.data + hom_a.data))
+            outliers = self._update_outlier_weights(residual)
+        self._outlier_scores = outliers * n  # scale-free ranking
+        return self
+
+    # -- hooks overridden by ADONE -------------------------------------- #
+    def _build_extra(self, rng):
+        return None
+
+    def _extra_parameters(self, extra):
+        return []
+
+    def _view_alignment(self, z_s, z_a, extra, outliers) -> Tensor:
+        disagreement = ((z_s - z_a) ** 2).sum(axis=1)
+        return self._weighted(disagreement, outliers)
+
+
+@register("done")
+class DONE(_DoneBase):
+    """DONE: dual AEs + homophily + direct view matching."""
+
+
+@register("adone")
+class ADONE(_DoneBase):
+    """ADONE: DONE with an adversarial view discriminator.
+
+    The discriminator classifies which view an embedding came from; the
+    encoders are trained to fool it (non-saturating GAN loss folded into
+    the joint objective, adequate at this scale).
+    """
+
+    def _build_extra(self, rng):
+        return MLP([self.dim, self.hidden, 1], rng)
+
+    def _extra_parameters(self, extra):
+        return list(extra.parameters())
+
+    def _view_alignment(self, z_s, z_a, extra, outliers) -> Tensor:
+        disc = extra
+        logit_s = disc(z_s).reshape(-1)
+        logit_a = disc(z_a).reshape(-1)
+        n = logit_s.shape[0]
+        # Discriminator: structure → 1, attribute → 0; generators invert it.
+        d_loss = (F.binary_cross_entropy_with_logits(logit_s, np.ones(n), "mean")
+                  + F.binary_cross_entropy_with_logits(logit_a, np.zeros(n), "mean"))
+        g_loss = (F.binary_cross_entropy_with_logits(logit_s, np.zeros(n), "mean")
+                  + F.binary_cross_entropy_with_logits(logit_a, np.ones(n), "mean"))
+        return d_loss + g_loss

@@ -1,0 +1,118 @@
+"""GAE and VGAE (Kipf & Welling, 2016).
+
+GCN encoder, inner-product decoder, (weighted) binary cross-entropy on the
+adjacency; VGAE adds the Gaussian reparameterisation and a KL prior.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.encoder import GCNEncoder
+from ..graph.graph import Graph, normalized_adjacency
+from ..nn import Adam, GCNConv, Tensor, functional as F, no_grad
+from .base import EmbeddingMethod, register
+
+__all__ = ["GAE", "VGAE"]
+
+
+@register("gae")
+class GAE(EmbeddingMethod):
+    """Graph autoencoder: ``Â = σ(ZZᵀ)`` trained against ``A + I``."""
+
+    def __init__(self, dim: int = 16, hidden: int = 32, epochs: int = 200,
+                 lr: float = 0.01, seed: int = 0):
+        self.dim = dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self.encoder: GCNEncoder | None = None
+        self._graph: Graph | None = None
+
+    def fit(self, graph: Graph) -> "GAE":
+        rng = np.random.default_rng(self.seed)
+        self.encoder = GCNEncoder(graph.num_features, (self.hidden, self.dim),
+                                  rng=rng)
+        self._graph = graph
+        adj_norm = normalized_adjacency(graph.adjacency)
+        features = Tensor(graph.features)
+        target = graph.adjacency.toarray() + np.eye(graph.num_nodes)
+        pos_weight = float((target.size - target.sum()) / max(target.sum(), 1))
+        optimizer = Adam(self.encoder.parameters(), lr=self.lr)
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            z = self.encoder(features, adj_norm)
+            logits = z @ z.T
+            loss = F.weighted_binary_cross_entropy_with_logits(
+                logits, target, pos_weight=pos_weight)
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def embed(self, graph: Graph | None = None) -> np.ndarray:
+        if self.encoder is None:
+            raise RuntimeError("call fit() first")
+        graph = graph or self._graph
+        with no_grad():
+            z = self.encoder(Tensor(graph.features),
+                             normalized_adjacency(graph.adjacency))
+        return z.data.copy()
+
+
+@register("vgae")
+class VGAE(EmbeddingMethod):
+    """Variational GAE with diagonal-Gaussian posterior."""
+
+    def __init__(self, dim: int = 16, hidden: int = 32, epochs: int = 200,
+                 lr: float = 0.01, seed: int = 0):
+        self.dim = dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.seed = seed
+        self._graph: Graph | None = None
+        self._layers = None
+
+    def fit(self, graph: Graph) -> "VGAE":
+        rng = np.random.default_rng(self.seed)
+        shared = GCNConv(graph.num_features, self.hidden, rng)
+        mu_layer = GCNConv(self.hidden, self.dim, rng)
+        logvar_layer = GCNConv(self.hidden, self.dim, rng)
+        self._layers = (shared, mu_layer, logvar_layer)
+        self._graph = graph
+
+        adj_norm = normalized_adjacency(graph.adjacency)
+        features = Tensor(graph.features)
+        n = graph.num_nodes
+        target = graph.adjacency.toarray() + np.eye(n)
+        pos_weight = float((target.size - target.sum()) / max(target.sum(), 1))
+        params = (list(shared.parameters()) + list(mu_layer.parameters())
+                  + list(logvar_layer.parameters()))
+        optimizer = Adam(params, lr=self.lr)
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            h = shared(features, adj_norm).relu()
+            mu = mu_layer(h, adj_norm)
+            logvar = logvar_layer(h, adj_norm).clip(-10.0, 10.0)
+            eps = Tensor(rng.standard_normal((n, self.dim)))
+            z = mu + (logvar * 0.5).exp() * eps
+            logits = z @ z.T
+            recon = F.weighted_binary_cross_entropy_with_logits(
+                logits, target, pos_weight=pos_weight)
+            kl = ((mu * mu) + logvar.exp() - logvar - 1.0).sum() * (0.5 / n)
+            loss = recon + kl * (1.0 / n)
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def embed(self, graph: Graph | None = None) -> np.ndarray:
+        if self._layers is None:
+            raise RuntimeError("call fit() first")
+        shared, mu_layer, _ = self._layers
+        graph = graph or self._graph
+        adj_norm = normalized_adjacency(graph.adjacency)
+        with no_grad():
+            h = shared(Tensor(graph.features), adj_norm).relu()
+            mu = mu_layer(h, adj_norm)
+        return mu.data.copy()

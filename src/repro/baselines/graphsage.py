@@ -1,0 +1,120 @@
+"""GraphSAGE (Hamilton, Ying & Leskovec, 2017), unsupervised variant.
+
+The paper's conclusion names sampling + learned aggregation as the route
+to scalability, so the library ships it as an extension baseline: two
+mean-aggregator layers trained with the unsupervised random-walk loss
+(co-visited nodes embed closely, negatives sampled by degree).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.graph import Graph
+from ..nn import Adam, Linear, Module, Tensor, concat, functional as F, no_grad
+from .base import EmbeddingMethod, register
+from .deepwalk import random_walks
+
+__all__ = ["GraphSAGE"]
+
+
+class _MeanSageLayer(Module):
+    """``h' = LeakyReLU(W_self h ‖ W_neigh · mean(h_neighbors))``."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.self_linear = Linear(in_dim, out_dim // 2, rng)
+        self.neigh_linear = Linear(in_dim, out_dim - out_dim // 2, rng)
+
+    def forward(self, h: Tensor, mean_adj: sp.spmatrix) -> Tensor:
+        from ..nn import spmm
+        neighbour_mean = spmm(mean_adj, h)
+        out = concat([self.self_linear(h),
+                      self.neigh_linear(neighbour_mean)], axis=1)
+        return out.leaky_relu(0.01)
+
+
+@register("graphsage")
+class GraphSAGE(EmbeddingMethod):
+    """Two mean-aggregator layers + unsupervised walk loss."""
+
+    def __init__(self, dim: int = 32, hidden: int = 64, epochs: int = 60,
+                 lr: float = 0.01, walks_per_node: int = 3,
+                 walk_length: int = 8, window: int = 3, negatives: int = 5,
+                 pairs_per_epoch: int = 2048, seed: int = 0):
+        self.dim = dim
+        self.hidden = hidden
+        self.epochs = epochs
+        self.lr = lr
+        self.walks_per_node = walks_per_node
+        self.walk_length = walk_length
+        self.window = window
+        self.negatives = negatives
+        self.pairs_per_epoch = pairs_per_epoch
+        self.seed = seed
+        self._layers: list[_MeanSageLayer] | None = None
+        self._graph: Graph | None = None
+
+    def fit(self, graph: Graph) -> "GraphSAGE":
+        rng = np.random.default_rng(self.seed)
+        self._layers = [
+            _MeanSageLayer(graph.num_features, self.hidden, rng),
+            _MeanSageLayer(self.hidden, self.dim, rng),
+        ]
+        self._graph = graph
+        mean_adj = self._mean_adjacency(graph)
+
+        # Positive pairs from random-walk windows.
+        walks = random_walks(graph.adjacency, self.walks_per_node,
+                             self.walk_length, rng)
+        pos_u, pos_v = [], []
+        for offset in range(1, self.window + 1):
+            pos_u.append(walks[:, :-offset].ravel())
+            pos_v.append(walks[:, offset:].ravel())
+        pos_u = np.concatenate(pos_u)
+        pos_v = np.concatenate(pos_v)
+        degrees = graph.degrees()
+        noise = (degrees + 1.0) ** 0.75
+        noise /= noise.sum()
+
+        params = [p for layer in self._layers for p in layer.parameters()]
+        optimizer = Adam(params, lr=self.lr)
+        features = Tensor(graph.features)
+        n = graph.num_nodes
+        for _ in range(self.epochs):
+            optimizer.zero_grad()
+            z = self._forward(features, mean_adj).l2_normalize()
+            idx = rng.integers(0, len(pos_u), size=self.pairs_per_epoch)
+            u, v = pos_u[idx], pos_v[idx]
+            negatives = rng.choice(n, size=self.pairs_per_epoch, p=noise)
+            pos_scores = (z[u] * z[v]).sum(axis=1)
+            neg_scores = (z[u] * z[negatives]).sum(axis=1)
+            logits = concat([pos_scores, neg_scores], axis=0)
+            labels = np.r_[np.ones(len(u)), np.zeros(len(u))]
+            loss = F.binary_cross_entropy_with_logits(logits, labels, "mean")
+            loss.backward()
+            optimizer.step()
+        return self
+
+    def _forward(self, features: Tensor, mean_adj: sp.spmatrix) -> Tensor:
+        h = features
+        for layer in self._layers:
+            h = layer(h, mean_adj)
+        return h
+
+    @staticmethod
+    def _mean_adjacency(graph: Graph) -> sp.csr_matrix:
+        """Row-stochastic neighbour-averaging operator (with self-loops)."""
+        adj = graph.adjacency + sp.eye(graph.num_nodes, format="csr")
+        inv_deg = 1.0 / np.maximum(np.asarray(adj.sum(axis=1)).ravel(), 1.0)
+        return (sp.diags(inv_deg) @ adj).tocsr()
+
+    def embed(self, graph: Graph | None = None) -> np.ndarray:
+        if self._layers is None:
+            raise RuntimeError("call fit() first")
+        graph = graph or self._graph
+        with no_grad():
+            z = self._forward(Tensor(graph.features),
+                              self._mean_adjacency(graph))
+        return z.data.copy()

@@ -1,0 +1,223 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+datasets
+    List the calibrated benchmark datasets and their Table II statistics.
+generate
+    Generate a dataset and save it as ``.npz`` (see ``repro.graph.io``).
+embed
+    Train an embedding method on a dataset and save the embedding.
+attack
+    Poison a dataset with one of the implemented attacks and save it.
+evaluate
+    Run one downstream task (classification / anomaly / community /
+    link-prediction) for a method on a dataset and print the metric.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="AnECI reproduction toolkit (ICDE 2022)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("datasets", help="list calibrated benchmark datasets")
+
+    gen = sub.add_parser("generate", help="generate a dataset to .npz")
+    _dataset_args(gen)
+    gen.add_argument("--out", required=True, help="output .npz path")
+
+    emb = sub.add_parser("embed", help="train a method, save the embedding")
+    _dataset_args(emb)
+    emb.add_argument("--method", default="aneci",
+                     help="aneci, aneci+ or a registered baseline name")
+    emb.add_argument("--epochs", type=int, default=None)
+    emb.add_argument("--out", required=True, help="output .npy path")
+
+    att = sub.add_parser("attack", help="poison a dataset, save to .npz")
+    _dataset_args(att)
+    att.add_argument("--attack", choices=["random", "dice"],
+                     default="random")
+    att.add_argument("--rate", type=float, default=0.2,
+                     help="perturbation rate (fraction of |E|)")
+    att.add_argument("--out", required=True, help="output .npz path")
+
+    ev = sub.add_parser("evaluate", help="run a downstream task")
+    _dataset_args(ev)
+    ev.add_argument("--method", default="aneci")
+    ev.add_argument("--task", required=True,
+                    choices=["classification", "anomaly", "community",
+                             "link-prediction"])
+    ev.add_argument("--epochs", type=int, default=None)
+
+    ex = sub.add_parser(
+        "experiment", help="regenerate one of the paper's artefacts")
+    _dataset_args(ex)
+    ex.add_argument("name", choices=[
+        "classification", "defense", "nettack", "fga", "random-attack",
+        "anomaly", "community", "timing"])
+    ex.add_argument("--out", default=None,
+                    help="optional path for a markdown report")
+    return parser
+
+
+def _dataset_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", default="cora",
+                        help="cora / citeseer / polblogs / pubmed")
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _load(args):
+    from .graph import load_dataset
+    return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
+
+
+def _build_method(name: str, graph, epochs: int | None, seed: int):
+    """Instantiate AnECI, AnECI+ or any registered baseline by name."""
+    from . import baselines
+    from .core import AnECI, AnECIPlus
+    lowered = name.lower()
+    extra = {"epochs": epochs} if epochs else {}
+    if lowered == "aneci":
+        return AnECI(graph.num_features, num_communities=graph.num_classes,
+                     seed=seed, **extra)
+    if lowered in ("aneci+", "aneciplus"):
+        return AnECIPlus(graph.num_features,
+                         num_communities=graph.num_classes, seed=seed,
+                         **extra)
+    kwargs = dict(extra)
+    if lowered in ("vgraph", "come"):
+        kwargs = {"num_communities": graph.num_classes}
+    return baselines.get_method(lowered, seed=seed, **kwargs)
+
+
+def cmd_datasets(_args) -> int:
+    from .graph.datasets import DATASETS
+    print(f"{'name':10s} {'N':>6s} {'M':>6s} {'classes':>8s} {'d':>6s} "
+          f"{'mixing':>7s}")
+    for spec in DATASETS.values():
+        d = spec.num_features if spec.num_features else "(id)"
+        print(f"{spec.name:10s} {spec.num_nodes:>6d} {spec.num_edges:>6d} "
+              f"{spec.num_classes:>8d} {str(d):>6s} {spec.mixing:>7.2f}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    from .graph.io import save_graph
+    graph = _load(args)
+    save_graph(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def cmd_embed(args) -> int:
+    graph = _load(args)
+    method = _build_method(args.method, graph, args.epochs, args.seed)
+    embedding = method.fit_transform(graph)
+    np.save(args.out, embedding)
+    print(f"wrote {embedding.shape} embedding to {args.out}")
+    return 0
+
+
+def cmd_attack(args) -> int:
+    from .attacks import DICE, RandomAttack
+    from .graph.io import save_graph
+    graph = _load(args)
+    attack = (RandomAttack(args.rate, seed=args.seed) if args.attack == "random"
+              else DICE(args.rate, seed=args.seed))
+    result = attack.attack(graph)
+    save_graph(result.graph, args.out)
+    print(f"{args.attack} attack: +{len(result.added_edges)} edges, "
+          f"-{len(result.removed_edges)} edges -> {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    graph = _load(args)
+    method = _build_method(args.method, graph, args.epochs, args.seed)
+    rng = np.random.default_rng(args.seed)
+
+    if args.task == "classification":
+        from .tasks import evaluate_embedding
+        acc = evaluate_embedding(method.fit_transform(graph), graph)
+        print(f"classification accuracy: {acc:.4f}")
+    elif args.task == "anomaly":
+        from .anomalies import seed_outliers
+        from .tasks import anomaly_auc, isolation_forest_scores
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05,
+                                        kind="mix")
+        method = _build_method(args.method, augmented, args.epochs, args.seed)
+        method.fit(augmented)
+        scores = method.anomaly_scores() if hasattr(method, "anomaly_scores") \
+            else None
+        if scores is None:
+            scores = isolation_forest_scores(method.embed(), seed=args.seed)
+        print(f"anomaly AUC: {anomaly_auc(mask, scores):.4f}")
+    elif args.task == "community":
+        from .core import newman_modularity
+        from .tasks import communities_from_embedding
+        method.fit(graph)
+        if hasattr(method, "assign_communities"):
+            communities = method.assign_communities()
+        else:
+            communities = communities_from_embedding(
+                method.embed(), graph.num_classes, seed=args.seed)
+        print(f"modularity: "
+              f"{newman_modularity(graph.adjacency, communities):.4f}")
+    else:  # link-prediction
+        from .tasks import link_prediction_auc, link_prediction_split
+        train, pos, neg = link_prediction_split(graph, 0.1, rng)
+        method = _build_method(args.method, train, args.epochs, args.seed)
+        z = method.fit_transform(train)
+        print(f"link-prediction AUC: "
+              f"{link_prediction_auc(z, pos, neg):.4f}")
+    return 0
+
+
+def cmd_experiment(args) -> int:
+    from . import experiments as E
+    graph = _load(args)
+    runners = {
+        "classification": lambda: E.run_node_classification(graph, rounds=1),
+        "defense": lambda: E.run_defense_curve(graph),
+        "nettack": lambda: E.run_targeted_attack(graph, attack="nettack"),
+        "fga": lambda: E.run_targeted_attack(graph, attack="fga"),
+        "random-attack": lambda: E.run_random_attack_curve(graph),
+        "anomaly": lambda: E.run_anomaly_detection(graph),
+        "community": lambda: E.run_community_detection(graph),
+        "timing": lambda: E.run_timing(graph),
+    }
+    result = runners[args.name]()
+    print(result.to_markdown())
+    if args.out:
+        E.write_report([result], args.out)
+        print(f"report written to {args.out}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "datasets": cmd_datasets,
+        "generate": cmd_generate,
+        "embed": cmd_embed,
+        "attack": cmd_attack,
+        "evaluate": cmd_evaluate,
+        "experiment": cmd_experiment,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""Clustering substrates: k-means++ and a diagonal Gaussian mixture."""
+
+from .gmm import GaussianMixture
+from .kmeans import kmeans, kmeans_plusplus_init
+
+__all__ = ["kmeans", "kmeans_plusplus_init", "GaussianMixture"]

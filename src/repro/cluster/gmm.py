@@ -1,0 +1,96 @@
+"""Diagonal-covariance Gaussian mixture fitted by EM.
+
+ComE models each community as a Gaussian in embedding space; this module
+supplies that substrate.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .kmeans import kmeans
+
+__all__ = ["GaussianMixture"]
+
+
+class GaussianMixture:
+    """EM-fitted mixture of diagonal Gaussians.
+
+    Attributes (after :meth:`fit`)
+    ------------------------------
+    means_ : (k, d) component means
+    variances_ : (k, d) diagonal variances
+    weights_ : (k,) mixing proportions
+    """
+
+    def __init__(self, n_components: int, rng: np.random.Generator,
+                 max_iter: int = 100, tol: float = 1e-5,
+                 reg_covar: float = 1e-6):
+        if n_components < 1:
+            raise ValueError("need at least one component")
+        self.k = n_components
+        self.rng = rng
+        self.max_iter = max_iter
+        self.tol = tol
+        self.reg_covar = reg_covar
+        self.means_: np.ndarray | None = None
+        self.variances_: np.ndarray | None = None
+        self.weights_: np.ndarray | None = None
+        self.log_likelihood_: float = -np.inf
+
+    def fit(self, points: np.ndarray) -> "GaussianMixture":
+        points = np.asarray(points, dtype=np.float64)
+        n, d = points.shape
+        labels, centroids, _ = kmeans(points, self.k, self.rng)
+        self.means_ = centroids.copy()
+        self.variances_ = np.full((self.k, d), points.var(axis=0) + self.reg_covar)
+        self.weights_ = np.bincount(labels, minlength=self.k) / n
+        self.weights_ = np.maximum(self.weights_, 1e-8)
+        self.weights_ /= self.weights_.sum()
+
+        previous = -np.inf
+        for _ in range(self.max_iter):
+            resp, log_likelihood = self._e_step(points)
+            self._m_step(points, resp)
+            self.log_likelihood_ = log_likelihood
+            if log_likelihood - previous < self.tol:
+                break
+            previous = log_likelihood
+        return self
+
+    def predict_proba(self, points: np.ndarray) -> np.ndarray:
+        resp, _ = self._e_step(np.asarray(points, dtype=np.float64))
+        return resp
+
+    def predict(self, points: np.ndarray) -> np.ndarray:
+        return self.predict_proba(points).argmax(axis=1)
+
+    # ------------------------------------------------------------------ #
+    def _log_prob(self, points: np.ndarray) -> np.ndarray:
+        """(n, k) log N(x | μ_k, diag σ²_k) + log π_k."""
+        n, d = points.shape
+        log_probs = np.empty((n, self.k))
+        for c in range(self.k):
+            var = self.variances_[c]
+            diff = points - self.means_[c]
+            log_probs[:, c] = (
+                -0.5 * (np.sum(diff ** 2 / var, axis=1)
+                        + np.sum(np.log(2 * np.pi * var))))
+        return log_probs + np.log(self.weights_)
+
+    def _e_step(self, points: np.ndarray) -> tuple[np.ndarray, float]:
+        log_probs = self._log_prob(points)
+        max_log = log_probs.max(axis=1, keepdims=True)
+        log_norm = max_log + np.log(
+            np.exp(log_probs - max_log).sum(axis=1, keepdims=True))
+        resp = np.exp(log_probs - log_norm)
+        return resp, float(log_norm.sum())
+
+    def _m_step(self, points: np.ndarray, resp: np.ndarray) -> None:
+        counts = resp.sum(axis=0) + 1e-12
+        self.weights_ = counts / counts.sum()
+        self.means_ = (resp.T @ points) / counts[:, None]
+        for c in range(self.k):
+            diff = points - self.means_[c]
+            self.variances_[c] = (resp[:, c] @ (diff ** 2)) / counts[c]
+        self.variances_ = np.maximum(self.variances_, self.reg_covar)

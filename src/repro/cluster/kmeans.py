@@ -1,0 +1,83 @@
+"""K-means with k-means++ seeding (Arthur & Vassilvitskii, 2007).
+
+Used to cluster baseline embeddings for the community-detection task
+(Section VI-D) exactly as the paper does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["kmeans", "kmeans_plusplus_init"]
+
+
+def kmeans_plusplus_init(points: np.ndarray, k: int,
+                         rng: np.random.Generator) -> np.ndarray:
+    """Choose ``k`` initial centroids by D² weighting."""
+    n = points.shape[0]
+    if k > n:
+        raise ValueError(f"cannot place {k} centroids among {n} points")
+    centroids = np.empty((k, points.shape[1]))
+    first = rng.integers(n)
+    centroids[0] = points[first]
+    closest_sq = np.sum((points - centroids[0]) ** 2, axis=1)
+    for i in range(1, k):
+        total = closest_sq.sum()
+        if total <= 0:
+            # All remaining points coincide with a centroid; pick randomly.
+            choice = rng.integers(n)
+        else:
+            choice = rng.choice(n, p=closest_sq / total)
+        centroids[i] = points[choice]
+        dist_sq = np.sum((points - centroids[i]) ** 2, axis=1)
+        closest_sq = np.minimum(closest_sq, dist_sq)
+    return centroids
+
+
+def kmeans(points: np.ndarray, k: int, rng: np.random.Generator,
+           max_iter: int = 100, tol: float = 1e-7,
+           n_init: int = 1) -> tuple[np.ndarray, np.ndarray, float]:
+    """Lloyd's algorithm with k-means++ seeding.
+
+    Returns ``(labels, centroids, inertia)`` of the best of ``n_init``
+    restarts.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be 2-D")
+    best: tuple[np.ndarray, np.ndarray, float] | None = None
+    for _ in range(max(1, n_init)):
+        labels, centroids, inertia = _kmeans_once(points, k, rng, max_iter, tol)
+        if best is None or inertia < best[2]:
+            best = (labels, centroids, inertia)
+    return best
+
+
+def _kmeans_once(points, k, rng, max_iter, tol):
+    centroids = kmeans_plusplus_init(points, k, rng)
+    labels = np.zeros(points.shape[0], dtype=np.int64)
+    previous_inertia = np.inf
+    for _ in range(max_iter):
+        distances = _pairwise_sq(points, centroids)
+        labels = distances.argmin(axis=1)
+        inertia = float(distances[np.arange(points.shape[0]), labels].sum())
+        for c in range(k):
+            members = points[labels == c]
+            if len(members):
+                centroids[c] = members.mean(axis=0)
+            else:
+                # Re-seed an empty cluster at the farthest point.
+                farthest = distances.min(axis=1).argmax()
+                centroids[c] = points[farthest]
+        if previous_inertia - inertia < tol:
+            break
+        previous_inertia = inertia
+    distances = _pairwise_sq(points, centroids)
+    labels = distances.argmin(axis=1)
+    inertia = float(distances[np.arange(points.shape[0]), labels].sum())
+    return labels, centroids, inertia
+
+
+def _pairwise_sq(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    return (np.sum(a ** 2, axis=1)[:, None]
+            - 2.0 * a @ b.T + np.sum(b ** 2, axis=1)[None, :])

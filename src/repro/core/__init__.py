@@ -1,0 +1,21 @@
+"""AnECI core: model, modularity, scores, denoising."""
+
+from .aneci import AnECI, AnECIPlus
+from .config import TASK_EPOCHS, AnECIConfig
+from .denoise import DenoiseResult, smoothing_psi
+from .encoder import GCNEncoder
+from .modularity import (generalized_modularity_tensor, modularity_loss_terms,
+                         newman_modularity, soft_modularity)
+from .scores import (community_anomaly_scores, community_attribute_scores,
+                     defense_score, edge_anomaly_scores,
+                     membership_entropy_scores, rigidity)
+
+__all__ = [
+    "AnECI", "AnECIPlus", "AnECIConfig", "TASK_EPOCHS",
+    "GCNEncoder", "DenoiseResult", "smoothing_psi",
+    "newman_modularity", "soft_modularity", "modularity_loss_terms",
+    "generalized_modularity_tensor",
+    "defense_score", "edge_anomaly_scores", "rigidity",
+    "membership_entropy_scores", "community_attribute_scores",
+    "community_anomaly_scores",
+]

@@ -1,0 +1,236 @@
+"""AnECI — Attributed Network Embedding preserving Community Information.
+
+The model of Section IV: a GCN encoder whose unsupervised training signal
+combines (a) the generalised high-order/overlapped-community modularity
+``Q̃`` and (b) reconstruction of the high-order proximity from the softmax
+community membership, ``L = −β₁·Q̃ + β₂·L_R`` (Eq. 18).
+
+``AnECIPlus`` (Algorithm 1) adds a two-stage denoising pass and lives in
+:mod:`repro.core.denoise`; it is re-exported here for convenience.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph, normalized_adjacency
+from ..graph.proximity import high_order_proximity
+from ..nn import Adam, Tensor, functional as F, no_grad
+from .config import AnECIConfig
+from .encoder import GCNEncoder
+from .modularity import generalized_modularity_tensor, modularity_loss_terms
+from .scores import (community_anomaly_scores, membership_entropy_scores,
+                     rigidity)
+
+__all__ = ["AnECI", "AnECIPlus"]
+
+
+class AnECI:
+    """The AnECI embedding model.
+
+    Parameters mirror :class:`~repro.core.config.AnECIConfig`; pass either a
+    ready-made ``config`` or individual keyword arguments.
+
+    Examples
+    --------
+    >>> from repro import AnECI, load_dataset
+    >>> graph = load_dataset("cora", scale=0.1)
+    >>> model = AnECI(graph.num_features, num_communities=7, epochs=30)
+    >>> embedding = model.fit_transform(graph)
+    >>> embedding.shape == (graph.num_nodes, 7)
+    True
+    """
+
+    def __init__(self, num_features: int, num_communities: int | None = None,
+                 config: AnECIConfig | None = None, **kwargs):
+        if config is None:
+            if num_communities is None:
+                raise ValueError("num_communities is required without a config")
+            config = AnECIConfig(num_communities=num_communities, **kwargs)
+        elif kwargs or num_communities is not None:
+            raise ValueError("pass either a config or keyword arguments, not both")
+        self.config = config
+        self.num_features = int(num_features)
+        self.encoder: GCNEncoder | None = None
+        self.history: list[dict[str, float]] = []
+        self._fitted_graph: Graph | None = None
+
+    # ------------------------------------------------------------------ #
+    # Training                                                            #
+    # ------------------------------------------------------------------ #
+    def fit(self, graph: Graph, callback=None) -> "AnECI":
+        """Train on ``graph``; each call restarts from fresh weights.
+
+        ``callback(epoch, model, record)`` runs after every epoch, where
+        ``record`` carries the epoch's loss decomposition and rigidity —
+        used by the validation-selection and Fig. 9(b) experiments.
+
+        With ``n_init > 1`` the whole run is repeated from different
+        initialisations and the restart with the highest final modularity
+        is kept (the callback only observes the first restart).
+        """
+        if self.config.n_init > 1:
+            return self._fit_with_restarts(graph, callback)
+        return self._fit_once(graph, callback, self.config.seed)
+
+    def _fit_with_restarts(self, graph: Graph, callback) -> "AnECI":
+        best_state = None
+        best_history = None
+        best_q = -np.inf
+        for restart in range(self.config.n_init):
+            self._fit_once(graph, callback if restart == 0 else None,
+                           self.config.seed + restart)
+            final_q = self.history[-1]["modularity"]
+            if final_q > best_q:
+                best_q = final_q
+                best_state = self.encoder.state_dict()
+                best_history = self.history
+        self.encoder.load_state_dict(best_state)
+        self.history = best_history
+        return self
+
+    def _fit_once(self, graph: Graph, callback, seed: int) -> "AnECI":
+        cfg = self.config
+        if graph.num_features != self.num_features:
+            raise ValueError(
+                f"model built for {self.num_features} features, graph has "
+                f"{graph.num_features}")
+        rng = np.random.default_rng(seed)
+        self.encoder = GCNEncoder(
+            self.num_features, (*cfg.hidden_dims, cfg.num_communities),
+            rng=rng, dropout=cfg.dropout)
+        self.history = []
+        self._fitted_graph = graph
+
+        adj_norm = normalized_adjacency(graph.adjacency)
+        if cfg.proximity_kind == "katz":
+            from ..graph.proximity import katz_proximity
+            proximity = katz_proximity(graph.adjacency, beta=cfg.katz_beta,
+                                       order=cfg.order, self_loops=True)
+        else:
+            proximity = high_order_proximity(
+                graph.adjacency, order=cfg.order,
+                weights=cfg.proximity_weights)
+        prox, degrees, two_m = modularity_loss_terms(proximity)
+        if cfg.recon_target == "first_order":
+            recon_target = high_order_proximity(graph.adjacency, order=1)
+        else:
+            recon_target = prox
+        features = Tensor(graph.features)
+        optimizer = Adam(self.encoder.parameters(), lr=cfg.lr,
+                         weight_decay=cfg.weight_decay)
+
+        n = graph.num_nodes
+        sample_nodes = cfg.recon_sample_size if n > cfg.recon_sample_size else None
+
+        best_loss = np.inf
+        best_state = None
+        stall = 0
+        for epoch in range(cfg.epochs):
+            self.encoder.train()
+            optimizer.zero_grad()
+            z = self.encoder(features, adj_norm)
+            p = z.softmax(axis=-1)
+
+            q_tilde = generalized_modularity_tensor(p, prox, degrees, two_m)
+            decoder_input = p if cfg.decoder_source == "membership" else z
+            recon = self._reconstruction_loss(decoder_input, recon_target,
+                                              sample_nodes, rng)
+            loss = q_tilde * (-cfg.beta1) + recon * cfg.beta2
+            loss.backward()
+            optimizer.step()
+
+            record = {
+                "epoch": epoch,
+                "loss": loss.item(),
+                "modularity": q_tilde.item(),
+                "reconstruction": recon.item(),
+                "rigidity": rigidity(p.data),
+            }
+            self.history.append(record)
+            if callback is not None:
+                callback(epoch, self, record)
+
+            if cfg.patience is not None:
+                # Early stopping on the modularity training loss (Section V-D).
+                modularity_loss = -record["modularity"]
+                if modularity_loss < best_loss - 1e-6:
+                    best_loss = modularity_loss
+                    best_state = self.encoder.state_dict()
+                    stall = 0
+                else:
+                    stall += 1
+                    if stall >= cfg.patience:
+                        break
+        if cfg.patience is not None and best_state is not None:
+            self.encoder.load_state_dict(best_state)
+        return self
+
+    def _reconstruction_loss(self, p: Tensor, prox, sample_nodes: int | None,
+                             rng: np.random.Generator) -> Tensor:
+        """High-order reconstruction ``L_R`` (Eq. 17) on ``Â = σ(PPᵀ)``.
+
+        The paper sums Eq. 17 over all pairs; we reduce by the pair count so
+        the two loss terms of Eq. 18 share a common O(1) scale and β₁/β₂
+        keep their balancing role across graph sizes.  For large graphs a
+        random node block is reconstructed per epoch (same mean scale).
+        """
+        if sample_nodes is None:
+            logits = p @ p.T
+            target = prox.toarray()
+            return F.binary_cross_entropy_with_logits(logits, target, "mean")
+        n = p.shape[0]
+        idx = rng.choice(n, size=sample_nodes, replace=False)
+        block = p[idx]
+        logits = block @ block.T
+        target = prox[idx][:, idx].toarray()
+        return F.binary_cross_entropy_with_logits(logits, target, "mean")
+
+    # ------------------------------------------------------------------ #
+    # Inference                                                           #
+    # ------------------------------------------------------------------ #
+    def embed(self, graph: Graph | None = None) -> np.ndarray:
+        """Return the embedding matrix ``Z`` for ``graph`` (default: the
+        graph the model was fitted on)."""
+        if self.encoder is None:
+            raise RuntimeError("call fit() before embed()")
+        graph = graph or self._fitted_graph
+        adj_norm = normalized_adjacency(graph.adjacency)
+        self.encoder.eval()
+        with no_grad():
+            z = self.encoder(Tensor(graph.features), adj_norm)
+        return z.data.copy()
+
+    def fit_transform(self, graph: Graph, callback=None) -> np.ndarray:
+        return self.fit(graph, callback=callback).embed(graph)
+
+    def membership(self, graph: Graph | None = None) -> np.ndarray:
+        """Soft community membership ``P = softmax(Z)`` (Eq. 3)."""
+        z = self.embed(graph)
+        shifted = z - z.max(axis=1, keepdims=True)
+        exp = np.exp(shifted)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def assign_communities(self, graph: Graph | None = None) -> np.ndarray:
+        """Hard community labels ``argmax_k pᵢᵏ`` (Section VI-D)."""
+        return self.membership(graph).argmax(axis=1)
+
+    def anomaly_scores(self, graph: Graph | None = None,
+                       use_attributes: bool = True) -> np.ndarray:
+        """Node anomaly scores (Section VI-C).
+
+        Membership entropy catches structural outliers; the
+        community-attribute inconsistency term catches attribute and
+        combined outliers.  Set ``use_attributes=False`` for the pure
+        entropy score (e.g. on identity-feature graphs).
+        """
+        graph = graph or self._fitted_graph
+        membership = self.membership(graph)
+        if not use_attributes:
+            return membership_entropy_scores(membership)
+        return community_anomaly_scores(membership, graph.features)
+
+
+# Re-export so ``from repro.core.aneci import AnECIPlus`` works; the class
+# definition lives in denoise.py to keep Algorithm 1 in one place.
+from .denoise import AnECIPlus  # noqa: E402  (circular-free: denoise imports nothing from here at import time)

@@ -1,0 +1,110 @@
+"""Hyper-parameter configuration for AnECI.
+
+The paper's supplementary S.I is not available; values below follow the
+main text where stated (LeakyReLU slope 0.01, 150 epochs for node
+classification, 600 for community detection, early-stopping patience 20/40
+for anomaly detection) and conventional defaults elsewhere.  Everything is
+a plain dataclass so experiments can record the exact configuration used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["AnECIConfig", "TASK_EPOCHS"]
+
+#: Per-task epoch budgets from Section V-D.
+TASK_EPOCHS = {
+    "classification": 150,
+    "community": 600,
+    "anomaly": 300,  # early stopping bounds the actual count
+}
+
+
+@dataclass
+class AnECIConfig:
+    """All knobs of the AnECI model.
+
+    Attributes
+    ----------
+    num_communities:
+        ``|C|`` — also the embedding width ``h`` (Section IV-B).
+    hidden_dims:
+        Widths of the intermediate GCN layers.
+    order:
+        High-order proximity order ``l`` (Eq. 1).
+    proximity_weights:
+        Optional per-order weights ``w``; uniform when ``None``.
+    beta1 / beta2:
+        Loss weights of Eq. 18 (−β₁·Q̃ + β₂·L_R).
+    lr / weight_decay / epochs / patience:
+        Optimisation schedule; ``patience=None`` disables early stopping.
+    recon_sample_size:
+        If the graph has more nodes than this, each epoch reconstructs a
+        random node-subset block of ``Ã`` instead of the full ``N × N``
+        matrix (keeps Pubmed-scale graphs tractable).
+    dropout:
+        Dropout applied between GCN layers during training.
+    seed:
+        Seed for weight init and any sampling.
+    n_init:
+        Independent restarts; the run with the best (highest) final
+        modularity is kept.  Guards against rare collapse to a single
+        community when ``|C|`` is small.
+    decoder_source:
+        What the decoder inner-products: ``"membership"`` (the paper's
+        choice, Eq. 15 uses ``P``) or ``"embedding"`` (``Z``, the GAE
+        convention) — exposed for the ablation benchmark.
+    recon_target:
+        What the decoder reconstructs: ``"high_order"`` (the paper's ``Ã``)
+        or ``"first_order"`` (``A + I`` row-normalised, the GAE
+        convention) — exposed for the ablation benchmark.
+    proximity_kind / katz_beta:
+        ``"uniform"`` uses the paper's equal per-order weights (or
+        ``proximity_weights`` when given); ``"katz"`` uses the geometric
+        Katz weighting ``w_l = βˡ`` (Definition 3's cited family).
+    """
+
+    num_communities: int
+    hidden_dims: tuple[int, ...] = (64,)
+    order: int = 2
+    proximity_weights: tuple[float, ...] | None = None
+    beta1: float = 1.0
+    beta2: float = 1.0
+    lr: float = 0.01
+    weight_decay: float = 0.0
+    epochs: int = 150
+    patience: int | None = None
+    recon_sample_size: int = 2048
+    dropout: float = 0.0
+    seed: int = 0
+    n_init: int = 1
+    decoder_source: str = "membership"
+    recon_target: str = "high_order"
+    proximity_kind: str = "uniform"
+    katz_beta: float = 0.2
+    extras: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.n_init < 1:
+            raise ValueError("n_init must be >= 1")
+        if self.decoder_source not in ("membership", "embedding"):
+            raise ValueError("decoder_source must be 'membership' or "
+                             "'embedding'")
+        if self.recon_target not in ("high_order", "first_order"):
+            raise ValueError("recon_target must be 'high_order' or "
+                             "'first_order'")
+        if self.proximity_kind not in ("uniform", "katz"):
+            raise ValueError("proximity_kind must be 'uniform' or 'katz'")
+        if not 0.0 < self.katz_beta < 1.0:
+            raise ValueError("katz_beta must be in (0, 1)")
+        if self.num_communities < 1:
+            raise ValueError("num_communities must be >= 1")
+        if self.order < 1:
+            raise ValueError("order must be >= 1")
+        if self.epochs < 1:
+            raise ValueError("epochs must be >= 1")
+        if self.beta1 < 0 or self.beta2 < 0:
+            raise ValueError("loss weights must be non-negative")
+        if not 0.0 <= self.dropout < 1.0:
+            raise ValueError("dropout must be in [0, 1)")

@@ -1,0 +1,42 @@
+"""The graph-convolutional attributed-network encoder (Section IV-B)."""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..nn import Dropout, GCNConv, Module, Tensor
+
+__all__ = ["GCNEncoder"]
+
+
+class GCNEncoder(Module):
+    """Multi-layer GCN ``H^{(l+1)} = LeakyReLU(Ā H^{(l)} W^{(l)})`` (Eq. 2).
+
+    The final layer is linear (no activation) so the output can serve both
+    as the embedding ``Z`` and, after a softmax, as the community
+    membership ``P``.
+    """
+
+    def __init__(self, num_features: int, dims: tuple[int, ...],
+                 rng: np.random.Generator, dropout: float = 0.0,
+                 negative_slope: float = 0.01):
+        super().__init__()
+        if not dims:
+            raise ValueError("encoder needs at least one output dimension")
+        self.negative_slope = negative_slope
+        widths = [num_features, *dims]
+        self.convs = [GCNConv(widths[i], widths[i + 1], rng)
+                      for i in range(len(dims))]
+        self.dropout = Dropout(dropout, rng) if dropout else None
+
+    def forward(self, x: Tensor, adj_norm: sp.spmatrix) -> Tensor:
+        h = x
+        last = len(self.convs) - 1
+        for i, conv in enumerate(self.convs):
+            h = conv(h, adj_norm)
+            if i != last:
+                h = h.leaky_relu(self.negative_slope)
+                if self.dropout is not None:
+                    h = self.dropout(h)
+        return h

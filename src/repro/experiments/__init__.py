@@ -1,0 +1,32 @@
+"""Programmatic experiment runners regenerating the paper's artefacts.
+
+Example::
+
+    from repro.experiments import run_node_classification
+    from repro.graph import load_dataset
+
+    result = run_node_classification(load_dataset("cora", scale=0.15))
+    print(result.to_markdown())
+    print("winner:", result.best("acc"))
+"""
+
+from .base import (ExperimentResult, MethodSpec, aneci_factory,
+                   aneci_plus_factory, default_embedding_methods,
+                   default_supervised_methods)
+from .report import load_result, render_report, write_report
+from .search import GridSearchResult, grid_search_aneci
+from .runners import (run_anomaly_detection, run_community_detection,
+                      run_defense_curve, run_node_classification,
+                      run_random_attack_curve, run_targeted_attack,
+                      run_timing)
+
+__all__ = [
+    "ExperimentResult", "MethodSpec",
+    "aneci_factory", "aneci_plus_factory",
+    "default_embedding_methods", "default_supervised_methods",
+    "run_node_classification", "run_defense_curve", "run_targeted_attack",
+    "run_random_attack_curve", "run_anomaly_detection",
+    "run_community_detection", "run_timing",
+    "render_report", "write_report", "load_result",
+    "GridSearchResult", "grid_search_aneci",
+]

@@ -1,0 +1,152 @@
+"""Experiment result containers and method factories.
+
+The :mod:`repro.experiments` package is the programmatic face of the
+benchmark suite: each runner regenerates one of the paper's artefacts and
+returns an :class:`ExperimentResult` that can be printed, serialised, or
+rendered to markdown — no pytest required.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ExperimentResult", "MethodSpec", "default_embedding_methods",
+           "default_supervised_methods", "aneci_factory",
+           "aneci_plus_factory"]
+
+
+@dataclass
+class ExperimentResult:
+    """Rows of one regenerated table/figure plus provenance metadata."""
+
+    name: str
+    rows: dict[str, dict[str, float]]
+    metadata: dict = field(default_factory=dict)
+    duration_s: float = 0.0
+
+    def to_json(self, path) -> None:
+        payload = {"name": self.name, "rows": self.rows,
+                   "metadata": self.metadata, "duration_s": self.duration_s}
+        with open(path, "w") as fh:
+            json.dump(payload, fh, indent=2, default=_jsonify)
+
+    def to_markdown(self) -> str:
+        """Render the rows as a GitHub-flavoured markdown table."""
+        columns = sorted({c for row in self.rows.values() for c in row})
+        lines = [f"### {self.name}", ""]
+        lines.append("| method | " + " | ".join(columns) + " |")
+        lines.append("|---" * (len(columns) + 1) + "|")
+        for method, row in self.rows.items():
+            cells = " | ".join(
+                f"{row[c]:.4f}" if c in row else "—" for c in columns)
+            lines.append(f"| {method} | {cells} |")
+        lines.append("")
+        return "\n".join(lines)
+
+    def best(self, column: str) -> str:
+        """Name of the best-scoring method in ``column``."""
+        candidates = {m: r[column] for m, r in self.rows.items()
+                      if column in r}
+        if not candidates:
+            raise KeyError(f"no row has column {column!r}")
+        return max(candidates, key=candidates.get)
+
+
+def _jsonify(value):
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value)}")
+
+
+@dataclass
+class MethodSpec:
+    """A named, seedable method constructor."""
+
+    name: str
+    factory: Callable[[int], object]  # seed -> method instance
+
+    def build(self, seed: int = 0):
+        return self.factory(seed)
+
+
+def aneci_factory(graph, epochs: int = 150, **overrides) -> MethodSpec:
+    """AnECI sized to ``graph`` (h = |C|, the paper's 150-epoch budget)."""
+    from ..core import AnECI
+
+    def build(seed: int):
+        kwargs = dict(num_communities=graph.num_classes, epochs=epochs,
+                      lr=0.02, order=2, beta2=2.0, seed=seed)
+        kwargs.update(overrides)
+        return AnECI(graph.num_features, **kwargs)
+
+    return MethodSpec("AnECI", build)
+
+
+def aneci_plus_factory(graph, epochs: int = 150, alpha: float = 4.0,
+                       **overrides) -> MethodSpec:
+    from ..core import AnECIPlus
+
+    def build(seed: int):
+        kwargs = dict(num_communities=graph.num_classes, epochs=epochs,
+                      lr=0.02, order=2, beta2=2.0, seed=seed, alpha=alpha)
+        kwargs.update(overrides)
+        return AnECIPlus(graph.num_features, **kwargs)
+
+    return MethodSpec("AnECI+", build)
+
+
+def default_embedding_methods(fast: bool = True) -> list[MethodSpec]:
+    """The unsupervised zoo with benchmark-scale budgets."""
+    from .. import baselines as B
+    specs = [
+        MethodSpec("DeepWalk", lambda s: B.DeepWalk(
+            dim=32, walks_per_node=4, walk_length=15, seed=s)),
+        MethodSpec("LINE", lambda s: B.LINE(dim=32, samples_per_edge=150,
+                                            seed=s)),
+        MethodSpec("GAE", lambda s: B.GAE(epochs=80, seed=s)),
+        MethodSpec("VGAE", lambda s: B.VGAE(epochs=80, seed=s)),
+        MethodSpec("DGI", lambda s: B.DGI(dim=32, epochs=60, seed=s)),
+        MethodSpec("AGE", lambda s: B.AGE(dim=32, iterations=3,
+                                          epochs_per_iter=20, seed=s)),
+    ]
+    if not fast:
+        specs += [
+            MethodSpec("DANE", lambda s: B.DANE(epochs=60, seed=s)),
+            MethodSpec("DONE", lambda s: B.DONE(epochs=60, seed=s)),
+            MethodSpec("ADONE", lambda s: B.ADONE(epochs=60, seed=s)),
+            MethodSpec("CFANE", lambda s: B.CFANE(epochs=60, seed=s)),
+            MethodSpec("SDNE", lambda s: B.SDNE(epochs=60, seed=s)),
+            MethodSpec("GraphSAGE", lambda s: B.GraphSAGE(epochs=40, seed=s)),
+            MethodSpec("GATE", lambda s: B.GATE(epochs=60, seed=s)),
+        ]
+    return specs
+
+
+def default_supervised_methods() -> list[MethodSpec]:
+    from .. import baselines as B
+    return [
+        MethodSpec("GCN", lambda s: B.GCNClassifier(epochs=80, seed=s)),
+        MethodSpec("GAT", lambda s: B.GATClassifier(epochs=80, seed=s)),
+        MethodSpec("RGCN", lambda s: B.RGCNClassifier(epochs=80, seed=s)),
+    ]
+
+
+class timer:
+    """Context manager measuring wall-clock seconds into ``.elapsed``."""
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self.elapsed = time.perf_counter() - self._start
+        return False

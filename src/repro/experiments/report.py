@@ -1,0 +1,41 @@
+"""Markdown report generation for experiment results."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .base import ExperimentResult
+
+__all__ = ["render_report", "write_report", "load_result"]
+
+
+def render_report(results: list[ExperimentResult],
+                  title: str = "AnECI reproduction report") -> str:
+    """Combine experiment results into one markdown document."""
+    lines = [f"# {title}", ""]
+    for result in results:
+        lines.append(result.to_markdown())
+        meta_bits = [f"{k}={v}" for k, v in result.metadata.items()]
+        lines.append(f"*graph: {', '.join(meta_bits)}; "
+                     f"runtime {result.duration_s:.1f}s*")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def write_report(results: list[ExperimentResult], path: str | Path,
+                 title: str = "AnECI reproduction report") -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(render_report(results, title))
+    return path
+
+
+def load_result(path: str | Path) -> ExperimentResult:
+    """Read an :class:`ExperimentResult` back from ``to_json`` output."""
+    with open(path) as fh:
+        payload = json.load(fh)
+    return ExperimentResult(
+        name=payload["name"], rows=payload["rows"],
+        metadata=payload.get("metadata", {}),
+        duration_s=payload.get("duration_s", 0.0))

@@ -1,0 +1,247 @@
+"""Programmatic experiment runners — one per paper artefact family.
+
+Each runner is self-contained: give it a graph (or dataset name) and it
+returns an :class:`~repro.experiments.base.ExperimentResult`.  The pytest
+benchmarks in ``benchmarks/`` exercise the same protocols with shape
+assertions; these runners are the library API for downstream users and
+the CLI.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..anomalies import seed_outliers
+from ..attacks import FGA, Nettack, RandomAttack, select_target_nodes
+from ..attacks.surrogate import LinearSurrogate
+from ..core import defense_score, newman_modularity
+from ..graph.graph import Graph
+from ..metrics import accuracy
+from ..tasks import (anomaly_auc, communities_from_embedding,
+                     evaluate_embedding, isolation_forest_scores)
+from .base import (ExperimentResult, MethodSpec, aneci_factory,
+                   aneci_plus_factory, default_embedding_methods,
+                   default_supervised_methods, timer)
+
+__all__ = [
+    "run_node_classification",
+    "run_defense_curve",
+    "run_targeted_attack",
+    "run_random_attack_curve",
+    "run_anomaly_detection",
+    "run_community_detection",
+    "run_timing",
+]
+
+
+def run_node_classification(graph: Graph, rounds: int = 2,
+                            fast: bool = True) -> ExperimentResult:
+    """Table III protocol on one graph."""
+    rows: dict[str, dict[str, float]] = {}
+    with timer() as t:
+        scores: dict[str, list[float]] = {}
+        specs = default_embedding_methods(fast) + [aneci_factory(graph)]
+        for seed in range(rounds):
+            for spec in specs:
+                z = spec.build(seed).fit_transform(graph)
+                scores.setdefault(spec.name, []).append(
+                    evaluate_embedding(z, graph, seed=seed))
+            for spec in default_supervised_methods():
+                pred = spec.build(seed).fit(graph).predict()
+                scores.setdefault(spec.name, []).append(accuracy(
+                    graph.labels[graph.test_idx], pred[graph.test_idx]))
+        rows = {name: {"acc": float(np.mean(vals)),
+                       "std": float(np.std(vals))}
+                for name, vals in scores.items()}
+    return ExperimentResult("node_classification", rows,
+                            {"graph": graph.name, "rounds": rounds},
+                            t.elapsed)
+
+
+def run_defense_curve(graph: Graph, rates=(0.1, 0.3, 0.5),
+                      seed: int = 0) -> ExperimentResult:
+    """Fig. 2 protocol: defense score vs perturbation rate."""
+    from .. import baselines as B
+    rows: dict[str, dict[str, float]] = {}
+    with timer() as t:
+        for rate in rates:
+            result = RandomAttack(rate, seed=seed + 1).attack(graph)
+            attacked, fake = result.graph, result.added_edges
+            clean = graph.edge_list()
+            specs = [
+                MethodSpec("LINE", lambda s: B.LINE(
+                    dim=32, samples_per_edge=150, seed=s)),
+                MethodSpec("GAE", lambda s: B.GAE(epochs=80, seed=s)),
+                MethodSpec("DGI", lambda s: B.DGI(dim=32, epochs=60, seed=s)),
+                aneci_factory(attacked),
+            ]
+            for spec in specs:
+                z = spec.build(seed).fit_transform(attacked)
+                rows.setdefault(spec.name, {})[f"d={rate}"] = defense_score(
+                    z, clean, fake)
+    return ExperimentResult("defense_curve", rows,
+                            {"graph": graph.name, "rates": list(rates)},
+                            t.elapsed)
+
+
+def run_targeted_attack(graph: Graph, attack: str = "nettack",
+                        perturbations=(1, 3, 5), num_targets: int = 6,
+                        seed: int = 0) -> ExperimentResult:
+    """Figs. 3/4 protocol: targeted-node accuracy under poisoning."""
+    rng = np.random.default_rng(seed)
+    targets = select_target_nodes(graph, min_degree=5, limit=num_targets,
+                                  rng=rng)
+    surrogate = LinearSurrogate(seed=seed).fit(graph)
+    rows: dict[str, dict[str, float]] = {}
+    with timer() as t:
+        for n_pert in perturbations:
+            attacked = graph
+            for target in targets:
+                if attack == "nettack":
+                    attacker = Nettack(n_pert, surrogate=surrogate,
+                                       candidate_limit=150, seed=int(target))
+                elif attack == "fga":
+                    attacker = FGA(n_pert, surrogate=surrogate,
+                                   seed=int(target))
+                else:
+                    raise ValueError("attack must be 'nettack' or 'fga'")
+                attacked = attacker.attack(attacked, int(target)).graph
+            key = f"p={n_pert}"
+
+            for spec in default_supervised_methods():
+                pred = spec.build(seed).fit(attacked).predict()
+                rows.setdefault(spec.name, {})[key] = accuracy(
+                    graph.labels[targets], pred[targets])
+            # Targeted poisoning: the shorter robust budget keeps the
+            # decoder from memorising the adversarial edges (see
+            # benchmarks/_harness.ROBUST_OVERRIDES).
+            z = aneci_factory(attacked, epochs=80,
+                              beta2=1.0).build(seed).fit_transform(attacked)
+            rows.setdefault("AnECI", {})[key] = evaluate_embedding(
+                z, attacked, nodes=targets)
+            plus = aneci_plus_factory(attacked, epochs=80,
+                                      beta2=1.0).build(seed).fit(attacked)
+            rows.setdefault("AnECI+", {})[key] = evaluate_embedding(
+                plus.stage2.embed(attacked), attacked, nodes=targets)
+    return ExperimentResult(f"targeted_{attack}", rows,
+                            {"graph": graph.name,
+                             "targets": targets.tolist()}, t.elapsed)
+
+
+def run_random_attack_curve(graph: Graph, rates=(0.0, 0.2, 0.5),
+                            seed: int = 0) -> ExperimentResult:
+    """Fig. 5 protocol: overall accuracy under random poisoning."""
+    from .. import baselines as B
+    rows: dict[str, dict[str, float]] = {}
+    with timer() as t:
+        for rate in rates:
+            attacked = (RandomAttack(rate, seed=seed + 3).attack(graph).graph
+                        if rate else graph)
+            key = f"noise={rate}"
+            gcn = B.GCNClassifier(epochs=80, seed=seed).fit(attacked)
+            rows.setdefault("GCN", {})[key] = accuracy(
+                graph.labels[graph.test_idx],
+                gcn.predict()[graph.test_idx])
+            for name, method in {
+                "GAE": B.GAE(epochs=80, seed=seed),
+                "DGI": B.DGI(dim=32, epochs=60, seed=seed),
+            }.items():
+                z = method.fit_transform(attacked)
+                rows.setdefault(name, {})[key] = evaluate_embedding(
+                    z, attacked)
+            z = aneci_factory(attacked).build(seed).fit_transform(attacked)
+            rows.setdefault("AnECI", {})[key] = evaluate_embedding(z, attacked)
+            plus = aneci_plus_factory(attacked,
+                                      alpha=4.0).build(seed).fit(attacked)
+            rows.setdefault("AnECI+", {})[key] = evaluate_embedding(
+                plus.stage2.embed(attacked), attacked)
+    return ExperimentResult("random_attack_curve", rows,
+                            {"graph": graph.name, "rates": list(rates)},
+                            t.elapsed)
+
+
+def run_anomaly_detection(graph: Graph, kinds=("structural", "attribute",
+                                               "combined", "mix"),
+                          fraction: float = 0.05,
+                          seed: int = 0) -> ExperimentResult:
+    """Fig. 6 protocol: AUC per outlier type."""
+    from .. import baselines as B
+    rows: dict[str, dict[str, float]] = {}
+    with timer() as t:
+        for kind in kinds:
+            rng = np.random.default_rng(seed + 7)
+            augmented, mask = seed_outliers(graph, rng, fraction=fraction,
+                                            kind=kind)
+            methods = {
+                "GAE": B.GAE(epochs=80, seed=seed),
+                "DGI": B.DGI(dim=32, epochs=60, seed=seed),
+                "Dominant": B.Dominant(epochs=60, seed=seed),
+                "AnomalyDAE": B.AnomalyDAE(epochs=60, seed=seed),
+                "DONE": B.DONE(epochs=60, seed=seed),
+                "ADONE": B.ADONE(epochs=60, seed=seed),
+            }
+            for name, method in methods.items():
+                method.fit(augmented)
+                scores = method.anomaly_scores()
+                if scores is None:
+                    scores = isolation_forest_scores(method.embed(),
+                                                     seed=seed)
+                rows.setdefault(name, {})[kind] = anomaly_auc(mask, scores)
+            model = aneci_factory(augmented,
+                                  patience=20).build(seed).fit(augmented)
+            rows.setdefault("AnECI", {})[kind] = anomaly_auc(
+                mask, model.anomaly_scores())
+    return ExperimentResult("anomaly_detection", rows,
+                            {"graph": graph.name, "fraction": fraction},
+                            t.elapsed)
+
+
+def run_community_detection(graph: Graph, seed: int = 0) -> ExperimentResult:
+    """Fig. 7 protocol (caller should pass an identity-feature graph)."""
+    from .. import baselines as B
+    k = graph.num_classes
+    rows: dict[str, dict[str, float]] = {}
+    with timer() as t:
+        vgraph = B.VGraph(k, seed=seed).fit(graph)
+        rows["vGraph"] = {"Q": newman_modularity(
+            graph.adjacency, vgraph.assign_communities())}
+        come = B.ComE(k, walks_per_node=4, walk_length=15,
+                      seed=seed).fit(graph)
+        rows["ComE"] = {"Q": newman_modularity(
+            graph.adjacency, come.assign_communities())}
+        for name, method in {
+            "DeepWalk": B.DeepWalk(dim=32, walks_per_node=4, walk_length=15,
+                                   seed=seed),
+            "GAE": B.GAE(epochs=80, seed=seed),
+            "DGI": B.DGI(dim=32, epochs=60, seed=seed),
+        }.items():
+            z = method.fit_transform(graph)
+            communities = communities_from_embedding(z, k, seed=seed)
+            rows[name] = {"Q": newman_modularity(graph.adjacency,
+                                                 communities)}
+        model = aneci_factory(graph, epochs=150).build(seed).fit(graph)
+        rows["AnECI"] = {"Q": newman_modularity(
+            graph.adjacency, model.assign_communities())}
+        if graph.labels is not None:
+            rows["(true labels)"] = {"Q": newman_modularity(
+                graph.adjacency, graph.labels)}
+    return ExperimentResult("community_detection", rows,
+                            {"graph": graph.name}, t.elapsed)
+
+
+def run_timing(graph: Graph, fast: bool = True,
+               seed: int = 0) -> ExperimentResult:
+    """Table V protocol: wall-clock fit time per method."""
+    rows: dict[str, dict[str, float]] = {}
+    with timer() as t:
+        specs = default_embedding_methods(fast) + [aneci_factory(graph)]
+        for spec in specs:
+            method = spec.build(seed)
+            with timer() as fit_timer:
+                method.fit(graph)
+            rows[spec.name] = {"total_s": fit_timer.elapsed}
+            epochs = getattr(method, "epochs", None) or getattr(
+                getattr(method, "config", None), "epochs", None)
+            if epochs:
+                rows[spec.name]["per_epoch_s"] = fit_timer.elapsed / epochs
+    return ExperimentResult("timing", rows, {"graph": graph.name}, t.elapsed)

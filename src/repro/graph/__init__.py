@@ -1,0 +1,25 @@
+"""Graph substrate: containers, proximity, generators and datasets."""
+
+from .datasets import DATASETS, DatasetSpec, load_dataset
+from .generators import (attributed_sbm, lfr_like, planted_partition,
+                         topic_features)
+from .graph import Graph, edges_from_adjacency, normalized_adjacency
+from .io import load_graph, save_graph
+from .proximity import (high_order_proximity, katz_proximity,
+                        modularity_degree, proximity_statistics)
+from .splits import planetoid_split
+from .stats import (average_clustering, degree_histogram, graph_summary,
+                    homophily_index, largest_component_fraction)
+from .subgraph import induced_subgraph, k_hop_neighborhood, k_hop_subgraph
+
+__all__ = [
+    "Graph", "normalized_adjacency", "edges_from_adjacency",
+    "high_order_proximity", "katz_proximity", "modularity_degree",
+    "proximity_statistics",
+    "attributed_sbm", "planted_partition", "topic_features", "lfr_like",
+    "DATASETS", "DatasetSpec", "load_dataset",
+    "planetoid_split", "save_graph", "load_graph",
+    "degree_histogram", "average_clustering", "homophily_index",
+    "largest_component_fraction", "graph_summary",
+    "induced_subgraph", "k_hop_neighborhood", "k_hop_subgraph",
+]

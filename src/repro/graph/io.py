@@ -1,0 +1,43 @@
+"""Save/load :class:`~repro.graph.graph.Graph` objects as ``.npz`` files."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+__all__ = ["save_graph", "load_graph"]
+
+
+def save_graph(graph: Graph, path: str | os.PathLike) -> None:
+    """Serialise ``graph`` (adjacency, features, labels, splits) to ``path``."""
+    adj = graph.adjacency.tocoo()
+    payload: dict[str, np.ndarray] = {
+        "adj_row": adj.row, "adj_col": adj.col, "adj_data": adj.data,
+        "num_nodes": np.array([graph.num_nodes]),
+        "features": graph.features,
+        "name": np.array([graph.name]),
+    }
+    for key in ("labels", "train_idx", "val_idx", "test_idx"):
+        value = getattr(graph, key)
+        if value is not None:
+            payload[key] = value
+    np.savez_compressed(path, **payload)
+
+
+def load_graph(path: str | os.PathLike) -> Graph:
+    """Load a graph previously written by :func:`save_graph`."""
+    with np.load(path, allow_pickle=False) as data:
+        n = int(data["num_nodes"][0])
+        adjacency = sp.csr_matrix(
+            (data["adj_data"], (data["adj_row"], data["adj_col"])),
+            shape=(n, n))
+        kwargs = {}
+        for key in ("labels", "train_idx", "val_idx", "test_idx"):
+            if key in data:
+                kwargs[key] = data[key]
+        return Graph(adjacency=adjacency, features=data["features"],
+                     name=str(data["name"][0]), **kwargs)

@@ -1,0 +1,139 @@
+"""High-order proximity matrices (paper Eq. 1).
+
+``Ã = f(w₁A + w₂A² + … + w_l A^l)`` where ``A`` is the self-loop-augmented
+adjacency and ``f`` row-normalises so each entry can be read as the
+probability that node *i* is connected to node *j* in the high-order space.
+
+Powers of a sparse adjacency densify quickly; everything here stays in
+scipy sparse format so Pubmed-sized graphs remain tractable, with an
+optional per-row truncation (``max_entries_per_row``) for very large
+graphs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["high_order_proximity", "katz_proximity", "proximity_statistics",
+           "modularity_degree"]
+
+
+def high_order_proximity(adjacency: sp.spmatrix, order: int = 2,
+                         weights: np.ndarray | None = None,
+                         self_loops: bool = True,
+                         max_entries_per_row: int | None = None) -> sp.csr_matrix:
+    """Compute the row-normalised high-order proximity matrix ``Ã``.
+
+    Parameters
+    ----------
+    adjacency:
+        Binary symmetric adjacency (no self-loops).
+    order:
+        ``l`` in Eq. 1 — the highest power of ``A`` included.
+    weights:
+        Per-order weights ``w``; defaults to uniform ``1/l``.
+    self_loops:
+        Whether to add the identity before taking powers (the paper's
+        Definition 2 convention).
+    max_entries_per_row:
+        If given, keep only the largest entries in each row before
+        normalisation; bounds memory on dense high orders.
+    """
+    if order < 1:
+        raise ValueError("proximity order must be >= 1")
+    if weights is None:
+        weights = np.full(order, 1.0 / order)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.shape != (order,):
+        raise ValueError(f"expected {order} weights, got {weights.shape}")
+    if np.any(weights < 0):
+        raise ValueError("proximity weights must be non-negative")
+
+    base = sp.csr_matrix(adjacency, dtype=np.float64)
+    if self_loops:
+        base = base + sp.eye(base.shape[0], format="csr")
+
+    power = sp.eye(base.shape[0], format="csr")
+    total = sp.csr_matrix(base.shape, dtype=np.float64)
+    for w in weights:
+        power = (power @ base).tocsr()
+        if max_entries_per_row is not None:
+            power = _truncate_rows(power, max_entries_per_row)
+        if w:
+            total = total + w * power
+    return _row_normalize(total.tocsr())
+
+
+def katz_proximity(adjacency: sp.spmatrix, beta: float = 0.1,
+                   order: int = 5,
+                   self_loops: bool = False) -> sp.csr_matrix:
+    """Truncated Katz index ``Σ_{l=1..order} βˡ Aˡ``, row-normalised.
+
+    The high-order proximity family of the paper's Definition 3 with the
+    classic geometric weighting ``w_l = βˡ`` — an alternative to the
+    uniform weights :func:`high_order_proximity` defaults to.  ``β`` must
+    stay below ``1/λ_max(A)`` for the untruncated series to converge; the
+    truncated sum is always finite, but small ``β`` keeps the emphasis on
+    short paths either way.
+    """
+    if not 0.0 < beta < 1.0:
+        raise ValueError("beta must be in (0, 1)")
+    weights = np.array([beta ** (l + 1) for l in range(order)])
+    return high_order_proximity(adjacency, order=order, weights=weights,
+                                self_loops=self_loops)
+
+
+def _row_normalize(matrix: sp.csr_matrix) -> sp.csr_matrix:
+    """Scale each row to sum to one (rows of all zeros stay zero)."""
+    sums = np.asarray(matrix.sum(axis=1)).ravel()
+    with np.errstate(divide="ignore"):
+        inv = 1.0 / sums
+    inv[~np.isfinite(inv)] = 0.0
+    return (sp.diags(inv) @ matrix).tocsr()
+
+
+def _truncate_rows(matrix: sp.csr_matrix, k: int) -> sp.csr_matrix:
+    """Keep the ``k`` largest entries of every row."""
+    matrix = matrix.tocsr()
+    indptr, indices, data = matrix.indptr, matrix.indices, matrix.data
+    keep_rows, keep_cols, keep_vals = [], [], []
+    for row in range(matrix.shape[0]):
+        start, stop = indptr[row], indptr[row + 1]
+        row_data = data[start:stop]
+        row_cols = indices[start:stop]
+        if row_data.size > k:
+            top = np.argpartition(row_data, -k)[-k:]
+            row_data = row_data[top]
+            row_cols = row_cols[top]
+        keep_rows.append(np.full(row_data.size, row))
+        keep_cols.append(row_cols)
+        keep_vals.append(row_data)
+    return sp.csr_matrix(
+        (np.concatenate(keep_vals), (np.concatenate(keep_rows),
+                                     np.concatenate(keep_cols))),
+        shape=matrix.shape)
+
+
+def modularity_degree(proximity: sp.spmatrix) -> tuple[np.ndarray, float]:
+    """High-order degrees ``k̃`` and total ``2M̃ = Σᵢⱼ Ãᵢⱼ`` (Section IV-C3).
+
+    Note the paper defines ``M̃ = Σᵢⱼ Ãᵢⱼ`` and uses ``2M̃`` as the
+    normaliser; we return ``k̃`` and the normaliser ``two_m = Σᵢⱼ Ãᵢⱼ`` so
+    that ``Σᵢ k̃ᵢ = two_m`` mirrors the first-order identity ``Σ kᵢ = 2M``.
+    """
+    degrees = np.asarray(proximity.sum(axis=1)).ravel()
+    return degrees, float(degrees.sum())
+
+
+def proximity_statistics(proximity: sp.spmatrix) -> dict[str, float]:
+    """Summary statistics used in tests and experiment logs."""
+    matrix = sp.csr_matrix(proximity)
+    row_sums = np.asarray(matrix.sum(axis=1)).ravel()
+    return {
+        "nnz": float(matrix.nnz),
+        "density": float(matrix.nnz) / float(matrix.shape[0] * matrix.shape[1]),
+        "max": float(matrix.data.max()) if matrix.nnz else 0.0,
+        "row_sum_min": float(row_sums.min()),
+        "row_sum_max": float(row_sums.max()),
+    }

@@ -1,0 +1,45 @@
+"""Planetoid-style dataset splits (Kipf & Welling protocol).
+
+The paper adopts the standard splits: a fixed number of training nodes per
+class, then ``num_val`` validation and ``num_test`` test nodes drawn from
+the remainder.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["planetoid_split"]
+
+
+def planetoid_split(labels: np.ndarray, train_per_class: int,
+                    num_val: int, num_test: int,
+                    rng: np.random.Generator) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample disjoint train/val/test index arrays.
+
+    Raises
+    ------
+    ValueError
+        If any class has fewer than ``train_per_class`` members or the
+        remainder cannot host the validation and test sets.
+    """
+    labels = np.asarray(labels)
+    train: list[np.ndarray] = []
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        if members.size < train_per_class:
+            raise ValueError(
+                f"class {c} has only {members.size} nodes, "
+                f"needs {train_per_class} for training")
+        train.append(rng.choice(members, size=train_per_class, replace=False))
+    train_idx = np.sort(np.concatenate(train))
+
+    remainder = np.setdiff1d(np.arange(labels.size), train_idx)
+    if remainder.size < num_val + num_test:
+        raise ValueError(
+            f"{remainder.size} nodes remain after training selection; "
+            f"cannot host {num_val} validation + {num_test} test nodes")
+    chosen = rng.choice(remainder, size=num_val + num_test, replace=False)
+    val_idx = np.sort(chosen[:num_val])
+    test_idx = np.sort(chosen[num_val:])
+    return train_idx, val_idx, test_idx

@@ -1,0 +1,83 @@
+"""Graph statistics used for dataset validation and experiment reports.
+
+These are the quantities the calibration in :mod:`repro.graph.datasets`
+promises to preserve: degree distribution shape, clustering, homophily,
+and component structure.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+__all__ = ["degree_histogram", "average_clustering", "homophily_index",
+           "largest_component_fraction", "graph_summary"]
+
+
+def degree_histogram(graph: Graph) -> np.ndarray:
+    """Counts of nodes per degree, index = degree."""
+    degrees = graph.degrees().astype(int)
+    return np.bincount(degrees)
+
+
+def average_clustering(graph: Graph, sample: int | None = None,
+                       rng: np.random.Generator | None = None) -> float:
+    """Mean local clustering coefficient (triangle density per node).
+
+    ``sample`` limits the computation to a random node subset for large
+    graphs.
+    """
+    adj = graph.adjacency
+    n = graph.num_nodes
+    nodes = np.arange(n)
+    if sample is not None and sample < n:
+        rng = rng or np.random.default_rng(0)
+        nodes = rng.choice(n, size=sample, replace=False)
+    coefficients = []
+    for node in nodes:
+        neighbours = adj[node].indices
+        k = len(neighbours)
+        if k < 2:
+            coefficients.append(0.0)
+            continue
+        sub = adj[np.ix_(neighbours, neighbours)]
+        links = sub.nnz / 2.0
+        coefficients.append(2.0 * links / (k * (k - 1)))
+    return float(np.mean(coefficients)) if coefficients else 0.0
+
+
+def homophily_index(graph: Graph) -> float:
+    """Fraction of edges joining same-label endpoints (edge homophily)."""
+    if graph.labels is None:
+        raise ValueError("homophily needs labels")
+    edges = graph.edge_list()
+    if len(edges) == 0:
+        return 0.0
+    labels = graph.labels
+    return float(np.mean(labels[edges[:, 0]] == labels[edges[:, 1]]))
+
+
+def largest_component_fraction(graph: Graph) -> float:
+    """Fraction of nodes inside the largest connected component."""
+    _, labels = sp.csgraph.connected_components(graph.adjacency,
+                                                directed=False)
+    counts = np.bincount(labels)
+    return float(counts.max() / graph.num_nodes)
+
+
+def graph_summary(graph: Graph) -> dict[str, float]:
+    """One-line-per-statistic summary dict (used by reports and the CLI)."""
+    summary = {
+        "nodes": float(graph.num_nodes),
+        "edges": float(graph.num_edges),
+        "avg_degree": float(graph.degrees().mean()),
+        "density": graph.density(),
+        "clustering": average_clustering(graph, sample=500),
+        "largest_component": largest_component_fraction(graph),
+    }
+    if graph.labels is not None:
+        summary["classes"] = float(graph.num_classes)
+        summary["homophily"] = homophily_index(graph)
+    return summary

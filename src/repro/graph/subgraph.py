@@ -1,0 +1,62 @@
+"""Subgraph extraction utilities.
+
+Used when inspecting attacks (the k-hop ball around a target node) and by
+tests; kept separate from the immutable :class:`Graph` container.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from .graph import Graph
+
+__all__ = ["induced_subgraph", "k_hop_neighborhood", "k_hop_subgraph"]
+
+
+def induced_subgraph(graph: Graph, nodes) -> tuple[Graph, np.ndarray]:
+    """Subgraph on ``nodes``; returns ``(subgraph, node_mapping)``.
+
+    ``node_mapping[i]`` is the original id of the subgraph's node ``i``.
+    Labels are carried over; the train/val/test split is not (the split
+    indices would be meaningless in the new numbering).
+    """
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    if nodes.size == 0:
+        raise ValueError("cannot induce a subgraph on zero nodes")
+    if nodes.min() < 0 or nodes.max() >= graph.num_nodes:
+        raise ValueError("node ids out of range")
+    adjacency = graph.adjacency[np.ix_(nodes, nodes)].tocsr()
+    sub = Graph(
+        adjacency=adjacency,
+        features=graph.features[nodes],
+        labels=graph.labels[nodes] if graph.labels is not None else None,
+        name=f"{graph.name}-sub{nodes.size}",
+        metadata={**graph.metadata, "parent": graph.name})
+    return sub, nodes
+
+
+def k_hop_neighborhood(graph: Graph, node: int, k: int) -> np.ndarray:
+    """Node ids within ``k`` hops of ``node`` (including the node)."""
+    if not 0 <= node < graph.num_nodes:
+        raise ValueError("node id out of range")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    frontier = {int(node)}
+    visited = {int(node)}
+    adjacency = graph.adjacency
+    for _ in range(k):
+        next_frontier: set[int] = set()
+        for u in frontier:
+            next_frontier.update(int(v) for v in adjacency[u].indices)
+        next_frontier -= visited
+        if not next_frontier:
+            break
+        visited |= next_frontier
+        frontier = next_frontier
+    return np.array(sorted(visited), dtype=np.int64)
+
+
+def k_hop_subgraph(graph: Graph, node: int, k: int) -> tuple[Graph, np.ndarray]:
+    """Induced subgraph on the ``k``-hop ball around ``node``."""
+    return induced_subgraph(graph, k_hop_neighborhood(graph, node, k))

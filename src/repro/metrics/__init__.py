@@ -1,0 +1,12 @@
+"""Evaluation metrics (ACC, AUC, modularity, NMI, ARI — Section V-B)."""
+
+from .classification import accuracy, confusion_matrix, macro_f1
+from .community import (adjusted_rand_index, newman_modularity,
+                        normalized_mutual_info)
+from .ranking import average_precision, roc_auc
+
+__all__ = [
+    "accuracy", "macro_f1", "confusion_matrix",
+    "roc_auc", "average_precision",
+    "normalized_mutual_info", "adjusted_rand_index", "newman_modularity",
+]

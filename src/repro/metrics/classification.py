@@ -1,0 +1,48 @@
+"""Classification metrics: accuracy, macro-F1, confusion matrix."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["accuracy", "macro_f1", "confusion_matrix"]
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of correct predictions (the paper's ACC metric)."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError("prediction/label shapes differ")
+    if y_true.size == 0:
+        raise ValueError("cannot compute accuracy of zero samples")
+    return float(np.mean(y_true == y_pred))
+
+
+def confusion_matrix(y_true: np.ndarray, y_pred: np.ndarray,
+                     num_classes: int | None = None) -> np.ndarray:
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if num_classes is None:
+        num_classes = int(max(y_true.max(), y_pred.max())) + 1
+    matrix = np.zeros((num_classes, num_classes), dtype=np.int64)
+    np.add.at(matrix, (y_true, y_pred), 1)
+    return matrix
+
+
+def macro_f1(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Unweighted mean of per-class F1 scores."""
+    matrix = confusion_matrix(y_true, y_pred)
+    scores = []
+    for c in range(matrix.shape[0]):
+        tp = matrix[c, c]
+        fp = matrix[:, c].sum() - tp
+        fn = matrix[c, :].sum() - tp
+        if tp == 0 and (fp > 0 or fn > 0):
+            scores.append(0.0)
+        elif tp == 0:
+            continue  # class absent from both truth and prediction
+        else:
+            precision = tp / (tp + fp)
+            recall = tp / (tp + fn)
+            scores.append(2 * precision * recall / (precision + recall))
+    return float(np.mean(scores)) if scores else 0.0

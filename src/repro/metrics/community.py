@@ -1,0 +1,62 @@
+"""Community/clustering agreement metrics: NMI and ARI.
+
+Newman modularity itself lives in :mod:`repro.core.modularity` (it is also
+part of the model's objective); it is re-exported here for convenience.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.modularity import newman_modularity
+
+__all__ = ["normalized_mutual_info", "adjusted_rand_index",
+           "newman_modularity"]
+
+
+def _contingency(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    a = np.asarray(a)
+    b = np.asarray(b)
+    if a.shape != b.shape:
+        raise ValueError("partitions must label the same nodes")
+    _, a_idx = np.unique(a, return_inverse=True)
+    _, b_idx = np.unique(b, return_inverse=True)
+    table = np.zeros((a_idx.max() + 1, b_idx.max() + 1), dtype=np.int64)
+    np.add.at(table, (a_idx, b_idx), 1)
+    return table
+
+
+def normalized_mutual_info(a: np.ndarray, b: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalisation."""
+    table = _contingency(a, b).astype(np.float64)
+    n = table.sum()
+    pa = table.sum(axis=1) / n
+    pb = table.sum(axis=0) / n
+    joint = table / n
+    with np.errstate(divide="ignore", invalid="ignore"):
+        log_term = np.log(joint / np.outer(pa, pb))
+    log_term[~np.isfinite(log_term)] = 0.0
+    mi = float((joint * log_term).sum())
+    ha = -float(np.sum(pa[pa > 0] * np.log(pa[pa > 0])))
+    hb = -float(np.sum(pb[pb > 0] * np.log(pb[pb > 0])))
+    if ha == 0.0 and hb == 0.0:
+        return 1.0
+    denom = (ha + hb) / 2.0
+    return mi / denom if denom > 0 else 0.0
+
+
+def adjusted_rand_index(a: np.ndarray, b: np.ndarray) -> float:
+    """ARI — chance-corrected pair-counting agreement."""
+    table = _contingency(a, b)
+    n = table.sum()
+    sum_comb = float((table * (table - 1) // 2).sum())
+    rows = table.sum(axis=1)
+    cols = table.sum(axis=0)
+    comb_rows = float((rows * (rows - 1) // 2).sum())
+    comb_cols = float((cols * (cols - 1) // 2).sum())
+    total = n * (n - 1) / 2.0
+    expected = comb_rows * comb_cols / total if total else 0.0
+    max_index = (comb_rows + comb_cols) / 2.0
+    if max_index == expected:
+        return 1.0
+    return (sum_comb - expected) / (max_index - expected)

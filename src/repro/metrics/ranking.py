@@ -1,0 +1,55 @@
+"""Ranking metrics: ROC-AUC and average precision.
+
+AUC is computed with the rank-statistic (Mann–Whitney U) formulation,
+which handles ties by midrank — identical to scikit-learn's result.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["roc_auc", "average_precision"]
+
+
+def roc_auc(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Area under the ROC curve for binary labels vs. real-valued scores."""
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    if y_true.shape != scores.shape:
+        raise ValueError("labels and scores must align")
+    n_pos = int(y_true.sum())
+    n_neg = y_true.size - n_pos
+    if n_pos == 0 or n_neg == 0:
+        raise ValueError("AUC needs both positive and negative samples")
+    ranks = _midranks(scores)
+    rank_sum = ranks[y_true].sum()
+    u = rank_sum - n_pos * (n_pos + 1) / 2.0
+    return float(u / (n_pos * n_neg))
+
+
+def average_precision(y_true: np.ndarray, scores: np.ndarray) -> float:
+    """Average precision (area under the precision–recall curve)."""
+    y_true = np.asarray(y_true).astype(bool)
+    scores = np.asarray(scores, dtype=np.float64)
+    order = np.argsort(-scores, kind="stable")
+    hits = y_true[order]
+    if hits.sum() == 0:
+        raise ValueError("average precision needs at least one positive")
+    cum_hits = np.cumsum(hits)
+    precision = cum_hits / np.arange(1, hits.size + 1)
+    return float(precision[hits].sum() / hits.sum())
+
+
+def _midranks(values: np.ndarray) -> np.ndarray:
+    """1-based ranks with ties assigned the average rank."""
+    order = np.argsort(values, kind="stable")
+    ranks = np.empty(values.size, dtype=np.float64)
+    sorted_vals = values[order]
+    i = 0
+    while i < values.size:
+        j = i
+        while j + 1 < values.size and sorted_vals[j + 1] == sorted_vals[i]:
+            j += 1
+        ranks[order[i:j + 1]] = (i + j) / 2.0 + 1.0
+        i = j + 1
+    return ranks

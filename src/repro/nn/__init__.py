@@ -1,0 +1,21 @@
+"""Minimal neural-network substrate (autograd, layers, optimisers).
+
+The rest of the library builds GCN encoders, autoencoders and contrastive
+models on top of this package; nothing here is specific to the AnECI paper.
+"""
+
+from . import functional, init
+from .autograd import Tensor, concat, no_grad, spmm, tensor
+from .layers import (Bilinear, Dropout, GCNConv, Linear, Module, Parameter,
+                     Sequential)
+from .optim import SGD, Adam, Optimizer
+from .schedulers import CosineAnnealingLR, LinearWarmup, Scheduler, StepLR
+
+__all__ = [
+    "Tensor", "tensor", "no_grad", "spmm", "concat",
+    "Module", "Parameter", "Linear", "GCNConv", "Dropout", "Sequential",
+    "Bilinear",
+    "Optimizer", "SGD", "Adam",
+    "Scheduler", "StepLR", "CosineAnnealingLR", "LinearWarmup",
+    "functional", "init",
+]

@@ -1,0 +1,482 @@
+"""A small reverse-mode automatic differentiation engine over numpy.
+
+The paper's models (GCN encoders, autoencoders, infomax discriminators) are
+normally implemented on top of PyTorch.  This environment only provides
+numpy/scipy, so this module supplies the required substrate: a ``Tensor``
+class that records a computation graph and backpropagates gradients through
+it, with first-class support for multiplying by *constant* scipy sparse
+matrices (the normalised adjacency used by every graph convolution).
+
+Design notes
+------------
+* Gradients are accumulated into ``Tensor.grad`` as plain numpy arrays.
+* Broadcasting is supported for elementwise ops; ``_unbroadcast`` folds the
+  upstream gradient back to the parameter's shape.
+* The graph is dynamic (define-by-run).  ``backward`` performs a topological
+  sort of the reachable subgraph and runs each node's backward closure once.
+* ``no_grad`` disables graph recording, which keeps inference cheap.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from typing import Callable, Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "spmm"]
+
+_GRAD_ENABLED = True
+
+
+@contextlib.contextmanager
+def no_grad():
+    """Context manager that disables computation-graph recording."""
+    global _GRAD_ENABLED
+    previous = _GRAD_ENABLED
+    _GRAD_ENABLED = False
+    try:
+        yield
+    finally:
+        _GRAD_ENABLED = previous
+
+
+def is_grad_enabled() -> bool:
+    """Return whether operations currently record the autograd graph."""
+    return _GRAD_ENABLED
+
+
+def _as_array(value) -> np.ndarray:
+    """Coerce ``value`` to a float64 numpy array without copying if possible."""
+    if isinstance(value, np.ndarray):
+        if value.dtype == np.float64:
+            return value
+        return value.astype(np.float64)
+    return np.asarray(value, dtype=np.float64)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Remove leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over axes that were of size 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor participating in reverse-mode autodiff.
+
+    Parameters
+    ----------
+    data:
+        Array-like payload; always stored as ``float64``.
+    requires_grad:
+        Whether gradients should be accumulated for this tensor.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
+
+    def __init__(self, data, requires_grad: bool = False):
+        self.data = _as_array(data)
+        self.grad: np.ndarray | None = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Callable[[], None] | None = None
+        self._parents: tuple[Tensor, ...] = ()
+
+    # ------------------------------------------------------------------ #
+    # Introspection                                                      #
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.data.shape}{flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying data (a view, not a copy)."""
+        return self.data
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0])
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    # ------------------------------------------------------------------ #
+    # Graph construction                                                 #
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _make(data: np.ndarray, parents: Sequence["Tensor"],
+              backward: Callable[[np.ndarray], None]) -> "Tensor":
+        """Create a result tensor wired into the graph if recording is on.
+
+        ``backward`` receives the upstream gradient and is responsible for
+        accumulating into each parent's ``grad``.
+        """
+        requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+
+            def _run():
+                backward(out.grad)
+
+            out._backward = _run
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        """Add ``grad`` into this tensor's gradient buffer."""
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(grad, self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    def backward(self, grad: np.ndarray | None = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if grad is None:
+            if self.data.size != 1:
+                raise ValueError(
+                    "backward() without an explicit gradient requires a "
+                    f"scalar tensor, got shape {self.data.shape}")
+            grad = np.ones_like(self.data)
+        self.grad = _as_array(grad).reshape(self.data.shape)
+
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen:
+                    stack.append((parent, False))
+
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward()
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # Elementwise arithmetic                                             #
+    # ------------------------------------------------------------------ #
+    def __add__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+
+        def backward(g):
+            self._accumulate(g)
+            other._accumulate(g)
+
+        return Tensor._make(self.data + other.data, (self, other), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(g):
+            self._accumulate(-g)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+
+        def backward(g):
+            self._accumulate(g)
+            other._accumulate(-g)
+
+        return Tensor._make(self.data - other.data, (self, other), backward)
+
+    def __rsub__(self, other) -> "Tensor":
+        return _ensure_tensor(other) - self
+
+    def __mul__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+
+        def backward(g):
+            self._accumulate(g * other.data)
+            other._accumulate(g * self.data)
+
+        return Tensor._make(self.data * other.data, (self, other), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other) -> "Tensor":
+        other = _ensure_tensor(other)
+
+        def backward(g):
+            self._accumulate(g / other.data)
+            other._accumulate(-g * self.data / (other.data ** 2))
+
+        return Tensor._make(self.data / other.data, (self, other), backward)
+
+    def __rtruediv__(self, other) -> "Tensor":
+        return _ensure_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not isinstance(exponent, (int, float)):
+            raise TypeError("only scalar exponents are supported")
+
+        def backward(g):
+            self._accumulate(g * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data ** exponent, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Linear algebra                                                     #
+    # ------------------------------------------------------------------ #
+    def matmul(self, other: "Tensor") -> "Tensor":
+        other = _ensure_tensor(other)
+
+        def backward(g):
+            self._accumulate(g @ other.data.T)
+            other._accumulate(self.data.T @ g)
+
+        return Tensor._make(self.data @ other.data, (self, other), backward)
+
+    __matmul__ = matmul
+
+    def transpose(self) -> "Tensor":
+        def backward(g):
+            self._accumulate(g.T)
+
+        return Tensor._make(self.data.T, (self,), backward)
+
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(g):
+            self._accumulate(g.reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(g):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, g)
+            self._accumulate(full)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Reductions                                                          #
+    # ------------------------------------------------------------------ #
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(g):
+            if axis is None:
+                expanded = np.broadcast_to(g, self.data.shape)
+            else:
+                g_local = g if keepdims else np.expand_dims(g, axis)
+                expanded = np.broadcast_to(g_local, self.data.shape)
+            self._accumulate(expanded)
+
+        return Tensor._make(
+            self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def trace(self) -> "Tensor":
+        if self.data.ndim != 2 or self.data.shape[0] != self.data.shape[1]:
+            raise ValueError("trace requires a square matrix")
+        n = self.data.shape[0]
+
+        def backward(g):
+            self._accumulate(np.eye(n) * g)
+
+        return Tensor._make(np.trace(self.data), (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Nonlinearities                                                     #
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        value = np.exp(self.data)
+
+        def backward(g):
+            self._accumulate(g * value)
+
+        return Tensor._make(value, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(g):
+            self._accumulate(g / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        value = np.sqrt(self.data)
+
+        def backward(g):
+            self._accumulate(g * 0.5 / value)
+
+        return Tensor._make(value, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        def backward(g):
+            self._accumulate(g * np.sign(self.data))
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = (self.data >= low) & (self.data <= high)
+
+        def backward(g):
+            self._accumulate(g * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        # Numerically stable logistic.
+        value = np.where(self.data >= 0,
+                         1.0 / (1.0 + np.exp(-np.clip(self.data, -500, 500))),
+                         np.exp(np.clip(self.data, -500, 500)) /
+                         (1.0 + np.exp(np.clip(self.data, -500, 500))))
+
+        def backward(g):
+            self._accumulate(g * value * (1.0 - value))
+
+        return Tensor._make(value, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        value = np.tanh(self.data)
+
+        def backward(g):
+            self._accumulate(g * (1.0 - value ** 2))
+
+        return Tensor._make(value, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0
+
+        def backward(g):
+            self._accumulate(g * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
+        mask = self.data > 0
+        scale = np.where(mask, 1.0, negative_slope)
+
+        def backward(g):
+            self._accumulate(g * scale)
+
+        return Tensor._make(self.data * scale, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        value = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(g):
+            dot = (g * value).sum(axis=axis, keepdims=True)
+            self._accumulate(value * (g - dot))
+
+        return Tensor._make(value, (self,), backward)
+
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_norm = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        value = shifted - log_norm
+        softmax = np.exp(value)
+
+        def backward(g):
+            self._accumulate(g - softmax * g.sum(axis=axis, keepdims=True))
+
+        return Tensor._make(value, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # Norms                                                              #
+    # ------------------------------------------------------------------ #
+    def l2_normalize(self, axis: int = -1, eps: float = 1e-12) -> "Tensor":
+        """Row-wise L2 normalisation, differentiable."""
+        norm = (self * self).sum(axis=axis, keepdims=True) + eps
+        return self / norm.sqrt()
+
+
+def _ensure_tensor(value) -> Tensor:
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def tensor(data, requires_grad: bool = False) -> Tensor:
+    """Convenience constructor mirroring ``torch.tensor``."""
+    return Tensor(data, requires_grad=requires_grad)
+
+
+def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
+    """Concatenate tensors along ``axis`` with gradient routing."""
+    tensors = [
+        t if isinstance(t, Tensor) else Tensor(t) for t in tensors
+    ]
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(g):
+        for t, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * g.ndim
+            index[axis] = slice(start, stop)
+            t._accumulate(g[tuple(index)])
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tensors, backward)
+
+
+def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+    """Multiply a *constant* scipy sparse matrix by a tensor.
+
+    The sparse matrix carries no gradient; the backward pass propagates
+    ``matrix.T @ grad`` into ``x``.  This is the workhorse of every graph
+    convolution in the library.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError("spmm expects a scipy sparse matrix")
+    matrix = matrix.tocsr()
+    transpose = matrix.T.tocsr()
+
+    def backward(g):
+        x._accumulate(transpose @ g)
+
+    return Tensor._make(matrix @ x.data, (x,), backward)

@@ -1,0 +1,81 @@
+"""First-order optimisers: SGD (with momentum) and Adam."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .autograd import Tensor
+
+__all__ = ["Optimizer", "SGD", "Adam"]
+
+
+class Optimizer:
+    """Base class holding the parameter list and shared bookkeeping."""
+
+    def __init__(self, params, lr: float, weight_decay: float = 0.0):
+        self.params: list[Tensor] = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        for p in self.params:
+            p.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _grad(self, p: Tensor) -> np.ndarray:
+        grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+        if self.weight_decay:
+            grad = grad + self.weight_decay * p.data
+        return grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional classical momentum."""
+
+    def __init__(self, params, lr: float = 0.01, momentum: float = 0.0,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for p, v in zip(self.params, self._velocity):
+            grad = self._grad(p)
+            if self.momentum:
+                v *= self.momentum
+                v += grad
+                grad = v
+            p.data -= self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam (Kingma & Ba, 2015) with bias correction."""
+
+    def __init__(self, params, lr: float = 0.001, betas: tuple[float, float] = (0.9, 0.999),
+                 eps: float = 1e-8, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self._step = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step += 1
+        bias1 = 1.0 - self.beta1 ** self._step
+        bias2 = 1.0 - self.beta2 ** self._step
+        for p, m, v in zip(self.params, self._m, self._v):
+            grad = self._grad(p)
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad ** 2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,73 @@
+"""Learning-rate schedulers for the optimisers in :mod:`repro.nn.optim`."""
+
+from __future__ import annotations
+
+import math
+
+from .optim import Optimizer
+
+__all__ = ["Scheduler", "StepLR", "CosineAnnealingLR", "LinearWarmup"]
+
+
+class Scheduler:
+    """Base class; mutates ``optimizer.lr`` on every :meth:`step`."""
+
+    def __init__(self, optimizer: Optimizer):
+        self.optimizer = optimizer
+        self.base_lr = optimizer.lr
+        self.epoch = 0
+
+    def step(self) -> None:
+        self.epoch += 1
+        self.optimizer.lr = self.get_lr(self.epoch)
+
+    def get_lr(self, epoch: int) -> float:
+        raise NotImplementedError
+
+
+class StepLR(Scheduler):
+    """Multiply the learning rate by ``gamma`` every ``step_size`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, step_size: int,
+                 gamma: float = 0.5):
+        if step_size < 1:
+            raise ValueError("step_size must be >= 1")
+        super().__init__(optimizer)
+        self.step_size = step_size
+        self.gamma = gamma
+
+    def get_lr(self, epoch: int) -> float:
+        return self.base_lr * self.gamma ** (epoch // self.step_size)
+
+
+class CosineAnnealingLR(Scheduler):
+    """Cosine decay from the base rate to ``eta_min`` over ``t_max`` epochs."""
+
+    def __init__(self, optimizer: Optimizer, t_max: int,
+                 eta_min: float = 0.0):
+        if t_max < 1:
+            raise ValueError("t_max must be >= 1")
+        super().__init__(optimizer)
+        self.t_max = t_max
+        self.eta_min = eta_min
+
+    def get_lr(self, epoch: int) -> float:
+        progress = min(epoch, self.t_max) / self.t_max
+        return (self.eta_min + (self.base_lr - self.eta_min)
+                * (1.0 + math.cos(math.pi * progress)) / 2.0)
+
+
+class LinearWarmup(Scheduler):
+    """Ramp linearly from 0 to the base rate, then hold."""
+
+    def __init__(self, optimizer: Optimizer, warmup_epochs: int):
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be >= 1")
+        super().__init__(optimizer)
+        self.warmup_epochs = warmup_epochs
+        optimizer.lr = self.get_lr(0)
+
+    def get_lr(self, epoch: int) -> float:
+        if epoch >= self.warmup_epochs:
+            return self.base_lr
+        return self.base_lr * (epoch + 1) / (self.warmup_epochs + 1)

@@ -1,0 +1,5 @@
+"""Generic outlier-scoring substrates."""
+
+from .isolation_forest import IsolationForest
+
+__all__ = ["IsolationForest"]

@@ -1,0 +1,18 @@
+"""Downstream-task protocols (classification, anomaly, community)."""
+
+from .anomaly import anomaly_auc, isolation_forest_scores
+from .classification import (LogisticRegression, classification_protocol,
+                             evaluate_embedding)
+from .community import communities_from_embedding, community_detection_report
+from .link_prediction import link_prediction_auc, link_prediction_split
+from .robustness import (accuracy_degradation_curve, defense_score_curve,
+                         relative_robustness)
+
+__all__ = [
+    "LogisticRegression", "evaluate_embedding", "classification_protocol",
+    "anomaly_auc", "isolation_forest_scores",
+    "communities_from_embedding", "community_detection_report",
+    "link_prediction_split", "link_prediction_auc",
+    "accuracy_degradation_curve", "defense_score_curve",
+    "relative_robustness",
+]

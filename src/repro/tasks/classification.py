@@ -1,0 +1,112 @@
+"""Node classification with a logistic-regression probe (Section VI-A).
+
+The paper's protocol for unsupervised methods: freeze the embedding, train
+a logistic-regression classifier on the training nodes, report test
+accuracy.  The classifier is a plain numpy softmax regression trained with
+full-batch Adam — no external ML library needed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..metrics.classification import accuracy
+
+__all__ = ["LogisticRegression", "evaluate_embedding", "classification_protocol"]
+
+
+class LogisticRegression:
+    """Multinomial logistic regression with L2 regularisation."""
+
+    def __init__(self, l2: float = 1e-4, lr: float = 0.1, epochs: int = 300,
+                 seed: int = 0):
+        self.l2 = l2
+        self.lr = lr
+        self.epochs = epochs
+        self.seed = seed
+        self.weight: np.ndarray | None = None
+        self.bias: np.ndarray | None = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            num_classes: int | None = None) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y)
+        if x.shape[0] != y.shape[0]:
+            raise ValueError("sample/label counts differ")
+        k = num_classes if num_classes is not None else int(y.max()) + 1
+        rng = np.random.default_rng(self.seed)
+        d = x.shape[1]
+        w = rng.normal(scale=0.01, size=(d, k))
+        b = np.zeros(k)
+        onehot = np.zeros((y.size, k))
+        onehot[np.arange(y.size), y] = 1.0
+
+        m_w = np.zeros_like(w); v_w = np.zeros_like(w)
+        m_b = np.zeros_like(b); v_b = np.zeros_like(b)
+        beta1, beta2, eps = 0.9, 0.999, 1e-8
+        for step in range(1, self.epochs + 1):
+            logits = x @ w + b
+            logits -= logits.max(axis=1, keepdims=True)
+            exp = np.exp(logits)
+            probs = exp / exp.sum(axis=1, keepdims=True)
+            grad_logits = (probs - onehot) / y.size
+            grad_w = x.T @ grad_logits + self.l2 * w
+            grad_b = grad_logits.sum(axis=0)
+
+            m_w = beta1 * m_w + (1 - beta1) * grad_w
+            v_w = beta2 * v_w + (1 - beta2) * grad_w ** 2
+            m_b = beta1 * m_b + (1 - beta1) * grad_b
+            v_b = beta2 * v_b + (1 - beta2) * grad_b ** 2
+            w -= self.lr * (m_w / (1 - beta1 ** step)) / (
+                np.sqrt(v_w / (1 - beta2 ** step)) + eps)
+            b -= self.lr * (m_b / (1 - beta1 ** step)) / (
+                np.sqrt(v_b / (1 - beta2 ** step)) + eps)
+        self.weight, self.bias = w, b
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weight is None:
+            raise RuntimeError("call fit() first")
+        logits = np.asarray(x) @ self.weight + self.bias
+        logits -= logits.max(axis=1, keepdims=True)
+        exp = np.exp(logits)
+        return exp / exp.sum(axis=1, keepdims=True)
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return self.predict_proba(x).argmax(axis=1)
+
+
+def evaluate_embedding(embedding: np.ndarray, graph: Graph,
+                       nodes: np.ndarray | None = None,
+                       seed: int = 0) -> float:
+    """Train the probe on ``graph.train_idx`` and score given nodes.
+
+    ``nodes`` defaults to the test split; pass targeted-node indices for
+    the attack experiments (Figs. 3–4).
+    """
+    if graph.labels is None or graph.train_idx is None:
+        raise ValueError("graph needs labels and a train split")
+    nodes = graph.test_idx if nodes is None else np.asarray(nodes)
+    # Standardise features — embeddings from different models vary wildly
+    # in scale and the probe should not care.
+    mean = embedding.mean(axis=0)
+    std = embedding.std(axis=0) + 1e-9
+    scaled = (embedding - mean) / std
+    clf = LogisticRegression(seed=seed)
+    clf.fit(scaled[graph.train_idx], graph.labels[graph.train_idx],
+            num_classes=graph.num_classes)
+    predictions = clf.predict(scaled[nodes])
+    return accuracy(graph.labels[nodes], predictions)
+
+
+def classification_protocol(embed_fn, graph: Graph, rounds: int = 10,
+                            nodes: np.ndarray | None = None) -> tuple[float, float]:
+    """Average accuracy ± std over independent rounds (the paper reports 10).
+
+    ``embed_fn(seed) -> embedding`` must retrain the model with the given
+    seed each round.
+    """
+    scores = [evaluate_embedding(embed_fn(seed), graph, nodes=nodes, seed=seed)
+              for seed in range(rounds)]
+    return float(np.mean(scores)), float(np.std(scores))

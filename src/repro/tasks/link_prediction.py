@@ -1,0 +1,85 @@
+"""Link prediction: the third downstream task the paper's introduction
+names as a casualty of adversarial attacks.
+
+Protocol: hide a fraction of edges, train the embedding on the remaining
+graph, score hidden edges against an equal number of non-edges by
+embedding inner product (or cosine), report ROC-AUC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..metrics.ranking import roc_auc
+
+__all__ = ["link_prediction_split", "link_prediction_auc"]
+
+
+def link_prediction_split(graph: Graph, test_fraction: float,
+                          rng: np.random.Generator
+                          ) -> tuple[Graph, np.ndarray, np.ndarray]:
+    """Hide ``test_fraction`` of edges.
+
+    Returns ``(train_graph, positive_edges, negative_edges)`` with equal
+    positive/negative counts.  Edge removal never disconnects a node
+    entirely (degree-1 endpoints are protected) so the training graph
+    keeps every node embeddable.
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    edges = graph.edge_list()
+    num_test = int(round(test_fraction * len(edges)))
+    if num_test == 0:
+        raise ValueError("graph too small for the requested fraction")
+
+    degrees = graph.degrees().copy()
+    order = rng.permutation(len(edges))
+    positives = []
+    for idx in order:
+        if len(positives) == num_test:
+            break
+        u, v = edges[idx]
+        if degrees[u] > 1 and degrees[v] > 1:
+            positives.append((u, v))
+            degrees[u] -= 1
+            degrees[v] -= 1
+    positives = np.array(positives, dtype=np.int64).reshape(-1, 2)
+
+    existing = graph.edge_set()
+    negatives: list[tuple[int, int]] = []
+    seen: set[tuple[int, int]] = set()
+    n = graph.num_nodes
+    while len(negatives) < len(positives):
+        u, v = rng.integers(0, n, size=2)
+        if u == v:
+            continue
+        edge = (int(min(u, v)), int(max(u, v)))
+        if edge in existing or edge in seen:
+            continue
+        seen.add(edge)
+        negatives.append(edge)
+    negatives = np.array(negatives, dtype=np.int64).reshape(-1, 2)
+
+    train_graph = graph.remove_edges(positives)
+    return train_graph, positives, negatives
+
+
+def link_prediction_auc(embedding: np.ndarray, positives: np.ndarray,
+                        negatives: np.ndarray,
+                        score: str = "cosine") -> float:
+    """ROC-AUC of edge scores: hidden edges vs sampled non-edges."""
+    def pair_scores(pairs: np.ndarray) -> np.ndarray:
+        z_u = embedding[pairs[:, 0]]
+        z_v = embedding[pairs[:, 1]]
+        if score == "inner":
+            return np.sum(z_u * z_v, axis=1)
+        if score == "cosine":
+            norms = (np.linalg.norm(z_u, axis=1)
+                     * np.linalg.norm(z_v, axis=1))
+            return np.sum(z_u * z_v, axis=1) / np.maximum(norms, 1e-12)
+        raise ValueError("score must be 'inner' or 'cosine'")
+
+    labels = np.r_[np.ones(len(positives)), np.zeros(len(negatives))]
+    scores = np.r_[pair_scores(positives), pair_scores(negatives)]
+    return roc_auc(labels, scores)

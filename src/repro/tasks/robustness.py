@@ -1,0 +1,74 @@
+"""Reusable robustness-evaluation protocols.
+
+Wraps the attack → retrain → evaluate loops of Section VI-B into
+functions any embedding method can be plugged into, so robustness curves
+(Figs. 2–5) can be produced outside the benchmark suite.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..attacks.base import Attack
+from ..core.scores import defense_score
+from ..graph.graph import Graph
+from .classification import evaluate_embedding
+
+__all__ = ["accuracy_degradation_curve", "defense_score_curve",
+           "relative_robustness"]
+
+
+def accuracy_degradation_curve(
+        embed_fn: Callable[[Graph], np.ndarray], graph: Graph,
+        attacks: list[Attack],
+        nodes: np.ndarray | None = None) -> dict[str, float]:
+    """Accuracy after retraining on each attacked graph.
+
+    ``embed_fn(graph) -> embedding`` must train from scratch on the graph
+    it is given (poisoning setting).  Returns ``{label: accuracy}`` with a
+    ``"clean"`` entry first.
+    """
+    curve = {"clean": evaluate_embedding(embed_fn(graph), graph,
+                                         nodes=nodes)}
+    for attack in attacks:
+        result = attack.attack(graph)
+        label = f"{type(attack).__name__}({result.num_perturbations})"
+        curve[label] = evaluate_embedding(embed_fn(result.graph),
+                                          result.graph, nodes=nodes)
+    return curve
+
+
+def defense_score_curve(
+        embed_fn: Callable[[Graph], np.ndarray], graph: Graph,
+        attacks: list[Attack]) -> dict[str, float]:
+    """Defense score (Section VI-B1) for each attack's fake edges."""
+    clean_edges = graph.edge_list()
+    curve: dict[str, float] = {}
+    for attack in attacks:
+        result = attack.attack(graph)
+        if len(result.added_edges) == 0:
+            continue
+        label = f"{type(attack).__name__}({result.num_perturbations})"
+        embedding = embed_fn(result.graph)
+        curve[label] = defense_score(embedding, clean_edges,
+                                     result.added_edges)
+    return curve
+
+
+def relative_robustness(curve: dict[str, float]) -> float:
+    """Worst-case retained accuracy fraction, ``min(attacked) / clean``.
+
+    1.0 means the method is unaffected by every attack in the curve;
+    values near 0 mean total collapse.
+    """
+    if "clean" not in curve:
+        raise ValueError("curve needs a 'clean' entry")
+    clean = curve["clean"]
+    if clean <= 0:
+        raise ValueError("clean accuracy must be positive")
+    attacked = [v for k, v in curve.items() if k != "clean"]
+    if not attacked:
+        return 1.0
+    return min(attacked) / clean

@@ -1,0 +1,6 @@
+"""Visualisation helpers: t-SNE (Fig. 8) and dependency-free SVG charts."""
+
+from .svg import line_chart, save_svg, scatter_chart
+from .tsne import tsne
+
+__all__ = ["tsne", "line_chart", "scatter_chart", "save_svg"]

@@ -1,0 +1,164 @@
+"""Dependency-free SVG chart rendering.
+
+matplotlib is not available in this environment, so the figures of the
+paper (defense-score curves, accuracy-vs-perturbation lines, t-SNE
+scatter panels) are rendered as standalone SVG files by this module.
+Only the two chart shapes the benchmarks need are implemented: multi-
+series line charts and labelled scatter plots.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["line_chart", "scatter_chart", "save_svg"]
+
+_PALETTE = ["#4269d0", "#efb118", "#ff725c", "#6cc5b0", "#3ca951",
+            "#ff8ab7", "#a463f2", "#97bbf5", "#9c6b4e", "#9498a0"]
+
+_WIDTH, _HEIGHT = 640, 420
+_MARGIN = {"left": 64, "right": 150, "top": 36, "bottom": 48}
+
+
+def line_chart(series: dict[str, tuple[np.ndarray, np.ndarray]],
+               title: str = "", x_label: str = "", y_label: str = "") -> str:
+    """Render ``{name: (x_values, y_values)}`` as a multi-line SVG chart."""
+    if not series:
+        raise ValueError("need at least one series")
+    cleaned = {}
+    for name, (x, y) in series.items():
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.shape != y.shape or x.size == 0:
+            raise ValueError(f"series {name!r} has mismatched or empty data")
+        cleaned[name] = (x, y)
+
+    all_x = np.concatenate([x for x, _ in cleaned.values()])
+    all_y = np.concatenate([y for _, y in cleaned.values()])
+    x_scale = _Scale(all_x.min(), all_x.max(),
+                     _MARGIN["left"], _WIDTH - _MARGIN["right"])
+    y_scale = _Scale(all_y.min(), all_y.max(),
+                     _HEIGHT - _MARGIN["bottom"], _MARGIN["top"])
+
+    parts = [_header(), _axes(x_scale, y_scale, title, x_label, y_label)]
+    for i, (name, (x, y)) in enumerate(cleaned.items()):
+        colour = _PALETTE[i % len(_PALETTE)]
+        points = " ".join(
+            f"{x_scale(a):.1f},{y_scale(b):.1f}" for a, b in zip(x, y))
+        parts.append(f'<polyline fill="none" stroke="{colour}" '
+                     f'stroke-width="2" points="{points}"/>')
+        for a, b in zip(x, y):
+            parts.append(f'<circle cx="{x_scale(a):.1f}" '
+                         f'cy="{y_scale(b):.1f}" r="3" fill="{colour}"/>')
+        legend_y = _MARGIN["top"] + 18 * i
+        legend_x = _WIDTH - _MARGIN["right"] + 12
+        parts.append(f'<rect x="{legend_x}" y="{legend_y - 9}" width="12" '
+                     f'height="12" fill="{colour}"/>')
+        parts.append(f'<text x="{legend_x + 18}" y="{legend_y + 2}" '
+                     f'font-size="12">{_escape(name)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def scatter_chart(points: np.ndarray, labels: np.ndarray | None = None,
+                  title: str = "") -> str:
+    """Render 2-D ``points`` (optionally coloured by integer labels)."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[1] != 2:
+        raise ValueError("points must be an (N, 2) array")
+    if labels is None:
+        labels = np.zeros(len(points), dtype=int)
+    labels = np.asarray(labels)
+
+    x_scale = _Scale(points[:, 0].min(), points[:, 0].max(),
+                     _MARGIN["left"], _WIDTH - _MARGIN["right"])
+    y_scale = _Scale(points[:, 1].min(), points[:, 1].max(),
+                     _HEIGHT - _MARGIN["bottom"], _MARGIN["top"])
+
+    parts = [_header()]
+    if title:
+        parts.append(f'<text x="{_WIDTH / 2}" y="20" text-anchor="middle" '
+                     f'font-size="14">{_escape(title)}</text>')
+    for (x, y), label in zip(points, labels):
+        colour = _PALETTE[int(label) % len(_PALETTE)]
+        parts.append(f'<circle cx="{x_scale(x):.1f}" cy="{y_scale(y):.1f}" '
+                     f'r="3" fill="{colour}" fill-opacity="0.75"/>')
+    for label in np.unique(labels):
+        colour = _PALETTE[int(label) % len(_PALETTE)]
+        legend_y = _MARGIN["top"] + 18 * int(label)
+        legend_x = _WIDTH - _MARGIN["right"] + 12
+        parts.append(f'<rect x="{legend_x}" y="{legend_y - 9}" width="12" '
+                     f'height="12" fill="{colour}"/>')
+        parts.append(f'<text x="{legend_x + 18}" y="{legend_y + 2}" '
+                     f'font-size="12">class {int(label)}</text>')
+    parts.append("</svg>")
+    return "\n".join(parts)
+
+
+def save_svg(svg: str, path) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(svg)
+    return path
+
+
+# ---------------------------------------------------------------------- #
+class _Scale:
+    """Affine map from data space to pixel space (degenerates safely)."""
+
+    def __init__(self, lo: float, hi: float, pixel_lo: float, pixel_hi: float):
+        self.lo = lo
+        self.span = (hi - lo) or 1.0
+        self.pixel_lo = pixel_lo
+        self.pixel_span = pixel_hi - pixel_lo
+        self.hi = hi
+
+    def __call__(self, value: float) -> float:
+        return self.pixel_lo + (value - self.lo) / self.span * self.pixel_span
+
+
+def _header() -> str:
+    return (f'<svg xmlns="http://www.w3.org/2000/svg" width="{_WIDTH}" '
+            f'height="{_HEIGHT}" font-family="sans-serif">'
+            f'<rect width="{_WIDTH}" height="{_HEIGHT}" fill="white"/>')
+
+
+def _axes(x_scale: _Scale, y_scale: _Scale, title: str,
+          x_label: str, y_label: str) -> str:
+    left, bottom = _MARGIN["left"], _HEIGHT - _MARGIN["bottom"]
+    right, top = _WIDTH - _MARGIN["right"], _MARGIN["top"]
+    parts = [
+        f'<line x1="{left}" y1="{bottom}" x2="{right}" y2="{bottom}" '
+        f'stroke="#333"/>',
+        f'<line x1="{left}" y1="{bottom}" x2="{left}" y2="{top}" '
+        f'stroke="#333"/>',
+    ]
+    if title:
+        parts.append(f'<text x="{(left + right) / 2}" y="20" '
+                     f'text-anchor="middle" font-size="14">'
+                     f'{_escape(title)}</text>')
+    if x_label:
+        parts.append(f'<text x="{(left + right) / 2}" y="{_HEIGHT - 10}" '
+                     f'text-anchor="middle" font-size="12">'
+                     f'{_escape(x_label)}</text>')
+    if y_label:
+        parts.append(f'<text x="16" y="{(top + bottom) / 2}" font-size="12" '
+                     f'transform="rotate(-90 16 {(top + bottom) / 2})" '
+                     f'text-anchor="middle">{_escape(y_label)}</text>')
+    # Min/max tick labels on both axes.
+    parts.append(f'<text x="{left}" y="{bottom + 16}" font-size="11" '
+                 f'text-anchor="middle">{x_scale.lo:.2g}</text>')
+    parts.append(f'<text x="{right}" y="{bottom + 16}" font-size="11" '
+                 f'text-anchor="middle">{x_scale.hi:.2g}</text>')
+    parts.append(f'<text x="{left - 6}" y="{bottom + 4}" font-size="11" '
+                 f'text-anchor="end">{y_scale.lo:.3g}</text>')
+    parts.append(f'<text x="{left - 6}" y="{top + 4}" font-size="11" '
+                 f'text-anchor="end">{y_scale.hi:.3g}</text>')
+    return "\n".join(parts)
+
+
+def _escape(text: str) -> str:
+    return (text.replace("&", "&amp;").replace("<", "&lt;")
+            .replace(">", "&gt;"))

@@ -1,0 +1,103 @@
+"""Exact t-SNE (van der Maaten & Hinton, 2008) for Fig. 8 visualisations.
+
+O(N²) implementation with the standard tricks: binary-searched
+perplexity calibration, early exaggeration, and momentum gradient descent.
+Adequate for the few-thousand-node graphs of the paper.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["tsne"]
+
+
+def tsne(points: np.ndarray, n_components: int = 2, perplexity: float = 30.0,
+         learning_rate: float = 200.0, n_iter: int = 500,
+         early_exaggeration: float = 12.0, seed: int = 0) -> np.ndarray:
+    """Embed ``points`` into ``n_components`` dimensions.
+
+    Returns an ``(N, n_components)`` array of coordinates.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    n = points.shape[0]
+    if n < 5:
+        raise ValueError("t-SNE needs at least a handful of points")
+    perplexity = min(perplexity, (n - 1) / 3.0)
+
+    p = _joint_probabilities(points, perplexity)
+    rng = np.random.default_rng(seed)
+    y = rng.normal(scale=1e-4, size=(n, n_components))
+    velocity = np.zeros_like(y)
+    gains = np.ones_like(y)
+
+    exaggeration_until = min(250, n_iter // 2)
+    p_run = p * early_exaggeration
+    momentum = 0.5
+    for iteration in range(n_iter):
+        if iteration == exaggeration_until:
+            p_run = p
+            momentum = 0.8
+        grad = _gradient(p_run, y)
+        gains = np.where(np.sign(grad) != np.sign(velocity),
+                         gains + 0.2, gains * 0.8)
+        gains = np.maximum(gains, 0.01)
+        velocity = momentum * velocity - learning_rate * gains * grad
+        y += velocity
+        y -= y.mean(axis=0)
+    return y
+
+
+def _joint_probabilities(points: np.ndarray, perplexity: float) -> np.ndarray:
+    distances = _pairwise_sq(points)
+    n = points.shape[0]
+    conditional = np.zeros((n, n))
+    target_entropy = np.log(perplexity)
+    for i in range(n):
+        conditional[i] = _calibrate_row(distances[i], i, target_entropy)
+    joint = (conditional + conditional.T) / (2.0 * n)
+    return np.maximum(joint, 1e-12)
+
+
+def _calibrate_row(row_distances: np.ndarray, i: int,
+                   target_entropy: float) -> np.ndarray:
+    beta_low, beta_high = 0.0, np.inf
+    beta = 1.0
+    probs = np.zeros_like(row_distances)
+    for _ in range(50):
+        probs = np.exp(-row_distances * beta)
+        probs[i] = 0.0
+        total = probs.sum()
+        if total <= 0:
+            beta /= 2.0
+            continue
+        probs /= total
+        positive = probs[probs > 0]
+        entropy = -np.sum(positive * np.log(positive))
+        error = entropy - target_entropy
+        if abs(error) < 1e-5:
+            break
+        if error > 0:
+            beta_low = beta
+            beta = beta * 2.0 if not np.isfinite(beta_high) else (beta + beta_high) / 2.0
+        else:
+            beta_high = beta
+            beta = (beta + beta_low) / 2.0
+    return probs
+
+
+def _gradient(p: np.ndarray, y: np.ndarray) -> np.ndarray:
+    distances = _pairwise_sq(y)
+    inv = 1.0 / (1.0 + distances)
+    np.fill_diagonal(inv, 0.0)
+    q = np.maximum(inv / inv.sum(), 1e-12)
+    pq = (p - q) * inv
+    grad = 4.0 * ((np.diag(pq.sum(axis=1)) - pq) @ y)
+    return grad
+
+
+def _pairwise_sq(points: np.ndarray) -> np.ndarray:
+    sq = np.sum(points ** 2, axis=1)
+    distances = sq[:, None] - 2.0 * points @ points.T + sq[None, :]
+    np.fill_diagonal(distances, 0.0)
+    return np.maximum(distances, 0.0)

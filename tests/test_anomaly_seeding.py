@@ -1,0 +1,104 @@
+"""Tests for community-outlier seeding (Section V-C)."""
+
+import numpy as np
+import pytest
+
+from repro.anomalies import OUTLIER_KINDS, seed_outliers
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.12, seed=0)
+
+
+class TestSeeding:
+    def test_five_percent_planted(self, graph):
+        rng = np.random.default_rng(0)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05)
+        expected = int(round(graph.num_nodes * 0.05))
+        assert mask.sum() == expected
+        assert augmented.num_nodes == graph.num_nodes + expected
+
+    def test_mask_marks_only_new_nodes(self, graph):
+        rng = np.random.default_rng(1)
+        augmented, mask = seed_outliers(graph, rng)
+        assert not mask[:graph.num_nodes].any()
+        assert mask[graph.num_nodes:].all()
+
+    def test_all_kinds_supported(self, graph):
+        for kind in OUTLIER_KINDS:
+            rng = np.random.default_rng(2)
+            augmented, mask = seed_outliers(graph, rng, kind=kind)
+            assert mask.sum() >= 1
+            assert augmented.labels.shape == (augmented.num_nodes,)
+
+    def test_invalid_kind(self, graph):
+        with pytest.raises(ValueError):
+            seed_outliers(graph, np.random.default_rng(0), kind="weird")
+
+    def test_invalid_fraction(self, graph):
+        with pytest.raises(ValueError):
+            seed_outliers(graph, np.random.default_rng(0), fraction=0.0)
+
+    def test_requires_labels(self, graph):
+        from repro.graph import Graph
+        bare = Graph(adjacency=graph.adjacency, features=graph.features)
+        with pytest.raises(ValueError):
+            seed_outliers(bare, np.random.default_rng(0))
+
+    def test_outliers_have_plausible_degree(self, graph):
+        rng = np.random.default_rng(3)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05)
+        degrees = augmented.degrees()
+        outlier_deg = degrees[mask]
+        normal_max = degrees[~mask].max()
+        assert np.all(outlier_deg >= 1)
+        assert outlier_deg.max() <= normal_max  # not trivially detectable
+
+    def test_structural_outliers_break_homophily(self, graph):
+        """Structural outliers' edges should cross communities more often."""
+        rng = np.random.default_rng(4)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05,
+                                        kind="structural")
+        labels = augmented.labels
+        edges = augmented.edge_list()
+        outlier_ids = set(np.flatnonzero(mask))
+        cross_out, total_out, cross_norm, total_norm = 0, 0, 0, 0
+        for u, v in edges:
+            cross = labels[u] != labels[v]
+            if u in outlier_ids or v in outlier_ids:
+                total_out += 1
+                cross_out += cross
+            else:
+                total_norm += 1
+                cross_norm += cross
+        assert cross_out / total_out > cross_norm / total_norm
+
+    def test_attribute_outliers_keep_structure(self, graph):
+        rng = np.random.default_rng(5)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05,
+                                        kind="attribute")
+        labels = augmented.labels
+        edges = augmented.edge_list()
+        outlier_ids = set(np.flatnonzero(mask))
+        cross, total = 0, 0
+        for u, v in edges:
+            if u in outlier_ids or v in outlier_ids:
+                total += 1
+                cross += labels[u] != labels[v]
+        # Wired like normal members: mostly within-community edges.
+        assert cross / total < 0.5
+
+    def test_feature_sparsity_matched(self, graph):
+        rng = np.random.default_rng(6)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05,
+                                        kind="attribute")
+        normal_density = graph.features.mean()
+        outlier_density = augmented.features[mask].mean()
+        assert outlier_density == pytest.approx(normal_density, rel=0.5)
+
+    def test_original_split_preserved(self, graph):
+        rng = np.random.default_rng(7)
+        augmented, _ = seed_outliers(graph, rng)
+        np.testing.assert_array_equal(augmented.train_idx, graph.train_idx)

@@ -1,0 +1,17 @@
+"""The API-docs generator must run and cover every public package."""
+
+import runpy
+import sys
+from pathlib import Path
+
+TOOLS = Path(__file__).parent.parent / "tools"
+
+
+def test_api_docs_generate(tmp_path, monkeypatch):
+    module = runpy.run_path(str(TOOLS / "gen_api_docs.py"))
+    out = module["main"]()
+    text = out.read_text()
+    for package in module["PACKAGES"]:
+        assert f"## `{package}`" in text
+    assert "class `AnECI" in text
+    assert "generalized_modularity_tensor" in text

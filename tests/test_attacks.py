@@ -1,0 +1,174 @@
+"""Tests for the attack suite (Random, FGA, NETTACK, surrogate)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.attacks import (FGA, LinearSurrogate, Nettack, RandomAttack,
+                           select_target_nodes)
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def surrogate(graph):
+    return LinearSurrogate(seed=0).fit(graph)
+
+
+class TestRandomAttack:
+    def test_adds_requested_fraction(self, graph):
+        result = RandomAttack(0.2, seed=1).attack(graph)
+        expected = int(round(0.2 * graph.num_edges))
+        assert len(result.added_edges) == expected
+        assert result.graph.num_edges == graph.num_edges + expected
+
+    def test_added_edges_are_new(self, graph):
+        result = RandomAttack(0.3, seed=2).attack(graph)
+        clean = graph.edge_set()
+        for u, v in result.added_edges:
+            assert (min(u, v), max(u, v)) not in clean
+
+    def test_zero_rate_is_noop(self, graph):
+        result = RandomAttack(0.0).attack(graph)
+        assert result.num_perturbations == 0
+        assert result.graph.num_edges == graph.num_edges
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            RandomAttack(-0.1)
+
+    def test_deterministic(self, graph):
+        a = RandomAttack(0.1, seed=9).attack(graph)
+        b = RandomAttack(0.1, seed=9).attack(graph)
+        np.testing.assert_array_equal(a.added_edges, b.added_edges)
+
+    def test_original_graph_untouched(self, graph):
+        edges_before = graph.num_edges
+        RandomAttack(0.5, seed=0).attack(graph)
+        assert graph.num_edges == edges_before
+
+
+class TestSurrogate:
+    def test_learns_clean_graph(self, graph, surrogate):
+        pred = surrogate.predict(graph.adjacency, graph.features)
+        acc = np.mean(pred[graph.test_idx] == graph.labels[graph.test_idx])
+        assert acc > 0.6
+
+    def test_propagate_shape(self, graph):
+        out = LinearSurrogate.propagate(graph.adjacency, graph.features)
+        assert out.shape == graph.features.shape
+
+    def test_unfitted_raises(self, graph):
+        with pytest.raises(RuntimeError):
+            LinearSurrogate().logits(graph.adjacency, graph.features)
+
+    def test_requires_split(self, graph):
+        from repro.graph import Graph
+        bare = Graph(adjacency=graph.adjacency, features=graph.features)
+        with pytest.raises(ValueError):
+            LinearSurrogate().fit(bare)
+
+
+class TestSelectTargets:
+    def test_high_degree_targets(self, graph):
+        targets = select_target_nodes(graph, min_degree=3)
+        degrees = graph.degrees()
+        assert np.all(degrees[targets] > 3)
+        assert set(targets).issubset(set(graph.test_idx))
+
+    def test_fallback_when_threshold_too_high(self, graph):
+        targets = select_target_nodes(graph, min_degree=10_000)
+        assert targets.size > 0
+
+    def test_limit(self, graph):
+        targets = select_target_nodes(graph, min_degree=0, limit=5)
+        assert targets.size <= 5
+
+
+def _margin_of(surrogate, graph, target):
+    logits = surrogate.logits(graph.adjacency, graph.features)[target]
+    label = graph.labels[target]
+    others = np.delete(logits, label)
+    return logits[label] - others.max()
+
+
+class TestFGA:
+    def test_perturbation_budget_respected(self, graph, surrogate):
+        target = int(select_target_nodes(graph, min_degree=3)[0])
+        result = FGA(3, surrogate=surrogate).attack(graph, target)
+        assert result.num_perturbations <= 3
+
+    def test_flips_touch_target(self, graph, surrogate):
+        target = int(select_target_nodes(graph, min_degree=3)[0])
+        result = FGA(2, surrogate=surrogate).attack(graph, target)
+        for edge in np.vstack([result.added_edges, result.removed_edges]):
+            assert target in edge
+
+    def test_margin_decreases(self, graph, surrogate):
+        target = int(select_target_nodes(graph, min_degree=3)[0])
+        before = _margin_of(surrogate, graph, target)
+        result = FGA(3, surrogate=surrogate).attack(graph, target)
+        after = _margin_of(surrogate, result.graph, target)
+        assert after < before
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            FGA(0)
+
+
+class TestNettack:
+    def test_margin_decreases(self, graph, surrogate):
+        target = int(select_target_nodes(graph, min_degree=3)[0])
+        before = _margin_of(surrogate, graph, target)
+        result = Nettack(3, surrogate=surrogate).attack(graph, target)
+        after = _margin_of(surrogate, result.graph, target)
+        assert after < before
+
+    def test_stronger_than_random_flip(self, graph, surrogate):
+        """NETTACK's chosen flip must beat a random incident flip."""
+        target = int(select_target_nodes(graph, min_degree=3)[0])
+        nettack_result = Nettack(1, surrogate=surrogate).attack(graph, target)
+        nettack_margin = _margin_of(surrogate, nettack_result.graph, target)
+        rng = np.random.default_rng(0)
+        random_margins = []
+        for _ in range(5):
+            v = int(rng.integers(graph.num_nodes))
+            if v == target:
+                continue
+            random_margins.append(
+                _margin_of(surrogate, graph.flip_edges([(target, v)]), target))
+        assert nettack_margin <= min(random_margins) + 1e-9
+
+    def test_incremental_margin_matches_full_recompute(self, graph, surrogate):
+        """The rank-two incremental scorer must agree with re-propagation."""
+        from repro.attacks.nettack import _margins_after_flips
+        target = int(select_target_nodes(graph, min_degree=3)[0])
+        label = int(graph.labels[target])
+        hidden = surrogate.hidden(graph.features) + surrogate.bias
+        rng = np.random.default_rng(1)
+        candidates = rng.choice(
+            np.setdiff1d(np.arange(graph.num_nodes), [target]),
+            size=8, replace=False)
+        fast = _margins_after_flips(graph.adjacency, hidden, target, label,
+                                    candidates)
+        for i, v in enumerate(candidates):
+            flipped = graph.flip_edges([(target, int(v))])
+            logits = (LinearSurrogate.propagate(flipped.adjacency, hidden)
+                      )[target]
+            others = np.delete(logits, label)
+            slow = logits[label] - others.max()
+            assert fast[i] == pytest.approx(slow, abs=1e-9)
+
+    def test_candidate_limit(self, graph, surrogate):
+        target = int(select_target_nodes(graph, min_degree=3)[0])
+        result = Nettack(1, surrogate=surrogate,
+                         candidate_limit=20).attack(graph, target)
+        assert result.num_perturbations <= 1
+
+    def test_invalid_budget(self):
+        with pytest.raises(ValueError):
+            Nettack(0)

@@ -1,0 +1,165 @@
+"""Tests for the baseline method zoo."""
+
+import numpy as np
+import pytest
+
+from repro import baselines as B
+from repro.graph import load_dataset, planted_partition
+from repro.tasks import evaluate_embedding
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.1, seed=0)
+
+
+@pytest.fixture(scope="module")
+def planted():
+    rng = np.random.default_rng(0)
+    return planted_partition(3, 20, 0.6, 0.03, rng, num_features=30)
+
+
+FAST_EMBEDDERS = {
+    "deepwalk": lambda: B.DeepWalk(dim=16, walks_per_node=2, walk_length=10,
+                                   epochs=1),
+    "line": lambda: B.LINE(dim=16, samples_per_edge=10),
+    "gae": lambda: B.GAE(epochs=15),
+    "vgae": lambda: B.VGAE(epochs=15),
+    "dgi": lambda: B.DGI(dim=16, epochs=15),
+    "dane": lambda: B.DANE(epochs=15),
+    "age": lambda: B.AGE(dim=16, iterations=2, epochs_per_iter=5),
+    "done": lambda: B.DONE(epochs=10),
+    "adone": lambda: B.ADONE(epochs=10),
+    "cfane": lambda: B.CFANE(epochs=15),
+    "dominant": lambda: B.Dominant(epochs=10),
+    "anomalydae": lambda: B.AnomalyDAE(epochs=10),
+}
+
+
+class TestRegistry:
+    def test_all_methods_registered(self):
+        names = B.available_methods()
+        for expected in ["deepwalk", "line", "gae", "vgae", "dgi", "dane",
+                         "age", "done", "adone", "cfane", "dominant",
+                         "anomalydae", "vgraph", "come", "gcn", "gat",
+                         "rgcn"]:
+            assert expected in names
+
+    def test_get_method(self):
+        method = B.get_method("gae", epochs=1)
+        assert isinstance(method, B.GAE)
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            B.get_method("gpt")
+
+
+@pytest.mark.parametrize("name", sorted(FAST_EMBEDDERS))
+def test_embedder_produces_finite_embedding(name, graph):
+    method = FAST_EMBEDDERS[name]()
+    z = method.fit_transform(graph)
+    assert z.shape[0] == graph.num_nodes
+    assert np.isfinite(z).all()
+
+
+@pytest.mark.parametrize("name", ["gae", "dgi", "dominant"])
+def test_embedder_unfitted_raises(name, graph):
+    with pytest.raises(RuntimeError):
+        FAST_EMBEDDERS[name]().embed(graph)
+
+
+class TestQualityOnPlanted:
+    """Loose quality gates: methods must beat random on an easy graph."""
+
+    def test_deepwalk_learns_structure(self, planted):
+        g = planted
+        z = B.DeepWalk(dim=16, walks_per_node=4, walk_length=15).fit_transform(g)
+        from repro.tasks import communities_from_embedding
+        from repro.metrics import normalized_mutual_info
+        communities = communities_from_embedding(z, 3, seed=0)
+        assert normalized_mutual_info(g.labels, communities) > 0.5
+
+    def test_gae_beats_random(self, graph):
+        z = B.GAE(epochs=60).fit_transform(graph)
+        acc = evaluate_embedding(z, graph)
+        assert acc > 2.0 / graph.num_classes
+
+    def test_dgi_beats_random(self, graph):
+        z = B.DGI(dim=32, epochs=40).fit_transform(graph)
+        assert evaluate_embedding(z, graph) > 2.0 / graph.num_classes
+
+
+class TestAnomalyScorers:
+    @pytest.mark.parametrize("name", ["done", "adone", "dominant",
+                                      "anomalydae"])
+    def test_native_scores_available(self, name, graph):
+        method = FAST_EMBEDDERS[name]()
+        method.fit(graph)
+        scores = method.anomaly_scores()
+        assert scores.shape == (graph.num_nodes,)
+        assert np.isfinite(scores).all()
+
+    def test_plain_embedders_have_no_native_scores(self, graph):
+        method = B.GAE(epochs=5).fit(graph)
+        assert method.anomaly_scores() is None
+
+    def test_dominant_alpha_validation(self):
+        with pytest.raises(ValueError):
+            B.Dominant(alpha=2.0)
+
+
+class TestSupervised:
+    @pytest.mark.parametrize("cls", [B.GCNClassifier, B.GATClassifier,
+                                     B.RGCNClassifier])
+    def test_better_than_random(self, cls, graph):
+        model = cls(epochs=40).fit(graph)
+        pred = model.predict()
+        acc = np.mean(pred[graph.test_idx] == graph.labels[graph.test_idx])
+        assert acc > 2.0 / graph.num_classes
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            B.GCNClassifier().predict()
+
+    def test_requires_labels(self, graph):
+        from repro.graph import Graph
+        bare = Graph(adjacency=graph.adjacency, features=graph.features)
+        with pytest.raises(ValueError):
+            B.GCNClassifier(epochs=2).fit(bare)
+
+    def test_predict_on_attacked_graph(self, graph):
+        model = B.GCNClassifier(epochs=20).fit(graph)
+        attacked = graph.add_edges([(0, graph.num_nodes - 1)])
+        pred = model.predict(attacked)
+        assert pred.shape == (graph.num_nodes,)
+
+
+class TestCommunityMethods:
+    def test_vgraph_membership_distribution(self, planted):
+        v = B.VGraph(3, seed=0).fit(planted)
+        phi = v.embed()
+        np.testing.assert_allclose(phi.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_vgraph_finds_planted_communities(self, planted):
+        from repro.metrics import normalized_mutual_info
+        v = B.VGraph(3, seed=0).fit(planted)
+        nmi = normalized_mutual_info(planted.labels, v.assign_communities())
+        assert nmi > 0.5
+
+    def test_vgraph_validation(self):
+        with pytest.raises(ValueError):
+            B.VGraph(0)
+
+    def test_come_produces_communities(self, planted):
+        c = B.ComE(3, walks_per_node=2, walk_length=10, seed=0).fit(planted)
+        communities = c.assign_communities()
+        assert communities.shape == (planted.num_nodes,)
+        assert len(np.unique(communities)) <= 3
+
+    def test_come_validation(self):
+        with pytest.raises(ValueError):
+            B.ComE(0)
+
+    def test_line_odd_dim_rejected(self):
+        with pytest.raises(ValueError):
+            B.LINE(dim=15)

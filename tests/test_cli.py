@@ -1,0 +1,126 @@
+"""Tests for the command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_datasets_command(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        for name in ("cora", "citeseer", "polblogs", "pubmed"):
+            assert name in out
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestGenerate:
+    def test_writes_npz(self, tmp_path, capsys):
+        out = tmp_path / "g.npz"
+        assert main(["generate", "--dataset", "cora", "--scale", "0.05",
+                     "--out", str(out)]) == 0
+        from repro.graph import load_graph
+        g = load_graph(out)
+        assert g.num_nodes > 0
+
+
+class TestEmbed:
+    def test_aneci_embedding(self, tmp_path):
+        out = tmp_path / "z.npy"
+        assert main(["embed", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci", "--epochs", "5",
+                     "--out", str(out)]) == 0
+        z = np.load(out)
+        assert z.ndim == 2
+
+    def test_baseline_embedding(self, tmp_path):
+        out = tmp_path / "z.npy"
+        assert main(["embed", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "gae", "--epochs", "5",
+                     "--out", str(out)]) == 0
+        assert np.load(out).shape[1] == 16
+
+
+class TestAttack:
+    def test_random_attack_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "attacked.npz"
+        assert main(["attack", "--dataset", "cora", "--scale", "0.05",
+                     "--attack", "random", "--rate", "0.2",
+                     "--out", str(out)]) == 0
+        assert "+” " != capsys.readouterr().out  # output produced
+
+    def test_dice_attack(self, tmp_path):
+        out = tmp_path / "diced.npz"
+        assert main(["attack", "--dataset", "cora", "--scale", "0.05",
+                     "--attack", "dice", "--rate", "0.2",
+                     "--out", str(out)]) == 0
+
+
+class TestCLIFallbacks:
+    def test_anomaly_with_plain_embedder_uses_iforest(self, capsys):
+        assert main(["evaluate", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "gae", "--epochs", "5",
+                     "--task", "anomaly"]) == 0
+        assert "AUC" in capsys.readouterr().out
+
+    def test_embed_aneci_plus(self, tmp_path):
+        out = tmp_path / "zp.npy"
+        assert main(["embed", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci+", "--epochs", "5",
+                     "--out", str(out)]) == 0
+        assert np.load(out).ndim == 2
+
+    def test_community_with_kmeans_fallback(self, capsys):
+        # GAE has no assign_communities → k-means path.
+        assert main(["evaluate", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "gae", "--epochs", "5",
+                     "--task", "community"]) == 0
+        assert "modularity" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_timing_experiment(self, capsys, tmp_path):
+        out = tmp_path / "report.md"
+        assert main(["experiment", "timing", "--dataset", "cora",
+                     "--scale", "0.05", "--out", str(out)]) == 0
+        text = capsys.readouterr().out
+        assert "### timing" in text
+        assert out.exists()
+
+    def test_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "frobnicate"])
+
+
+class TestEvaluate:
+    def test_classification(self, capsys):
+        assert main(["evaluate", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci", "--epochs", "10",
+                     "--task", "classification"]) == 0
+        assert "accuracy" in capsys.readouterr().out
+
+    def test_community(self, capsys):
+        assert main(["evaluate", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci", "--epochs", "10",
+                     "--task", "community"]) == 0
+        assert "modularity" in capsys.readouterr().out
+
+    def test_link_prediction(self, capsys):
+        assert main(["evaluate", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci", "--epochs", "10",
+                     "--task", "link-prediction"]) == 0
+        assert "AUC" in capsys.readouterr().out
+
+    def test_anomaly(self, capsys):
+        assert main(["evaluate", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci", "--epochs", "10",
+                     "--task", "anomaly"]) == 0
+        assert "AUC" in capsys.readouterr().out

@@ -1,0 +1,156 @@
+"""Tests for k-means++, GMM, isolation forest and t-SNE substrates."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import GaussianMixture, kmeans, kmeans_plusplus_init
+from repro.metrics import roc_auc
+from repro.outliers import IsolationForest
+from repro.viz import tsne
+
+
+def blobs(rng, centers, n_per=30, scale=0.2):
+    points = np.vstack([
+        rng.normal(loc=c, scale=scale, size=(n_per, len(c)))
+        for c in centers
+    ])
+    labels = np.repeat(np.arange(len(centers)), n_per)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        rng = np.random.default_rng(0)
+        points, truth = blobs(rng, [(0, 0), (10, 10), (-10, 10)])
+        labels, centroids, inertia = kmeans(points, 3, rng, n_init=3)
+        # Every true cluster maps to exactly one predicted label.
+        for c in range(3):
+            assert len(np.unique(labels[truth == c])) == 1
+        assert inertia < 50.0
+
+    def test_plusplus_spreads_centroids(self):
+        rng = np.random.default_rng(1)
+        points, _ = blobs(rng, [(0, 0), (100, 100)])
+        centroids = kmeans_plusplus_init(points, 2, rng)
+        assert np.linalg.norm(centroids[0] - centroids[1]) > 50
+
+    def test_k_larger_than_n_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kmeans_plusplus_init(np.zeros((3, 2)), 5, rng)
+
+    def test_duplicate_points_handled(self):
+        rng = np.random.default_rng(0)
+        points = np.zeros((10, 2))
+        labels, _, inertia = kmeans(points, 2, rng)
+        assert inertia == pytest.approx(0.0)
+
+    def test_1d_input_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            kmeans(np.zeros(5), 2, rng)
+
+    def test_deterministic_given_rng_state(self):
+        points, _ = blobs(np.random.default_rng(3), [(0, 0), (5, 5)])
+        a = kmeans(points, 2, np.random.default_rng(7))[0]
+        b = kmeans(points, 2, np.random.default_rng(7))[0]
+        np.testing.assert_array_equal(a, b)
+
+
+class TestGMM:
+    def test_recovers_blobs(self):
+        rng = np.random.default_rng(0)
+        points, truth = blobs(rng, [(0, 0), (8, 8)], n_per=60)
+        gmm = GaussianMixture(2, rng).fit(points)
+        pred = gmm.predict(points)
+        agreement = max(np.mean(pred == truth), np.mean(pred != truth))
+        assert agreement > 0.95
+
+    def test_proba_rows_sum_to_one(self):
+        rng = np.random.default_rng(1)
+        points, _ = blobs(rng, [(0, 0), (5, 5)])
+        gmm = GaussianMixture(2, rng).fit(points)
+        proba = gmm.predict_proba(points)
+        np.testing.assert_allclose(proba.sum(axis=1), 1.0, atol=1e-9)
+
+    def test_log_likelihood_improves(self):
+        rng = np.random.default_rng(2)
+        points, _ = blobs(rng, [(0, 0), (4, 4)])
+        loose = GaussianMixture(2, np.random.default_rng(2), max_iter=1).fit(points)
+        tight = GaussianMixture(2, np.random.default_rng(2), max_iter=50).fit(points)
+        assert tight.log_likelihood_ >= loose.log_likelihood_ - 1e-6
+
+    def test_invalid_components(self):
+        with pytest.raises(ValueError):
+            GaussianMixture(0, np.random.default_rng(0))
+
+    def test_variances_stay_positive(self):
+        rng = np.random.default_rng(3)
+        points = np.zeros((20, 2))  # degenerate data
+        gmm = GaussianMixture(2, rng).fit(points)
+        assert np.all(gmm.variances_ > 0)
+
+
+class TestIsolationForest:
+    def test_detects_planted_outliers(self):
+        rng = np.random.default_rng(0)
+        normal = rng.normal(size=(200, 3))
+        outliers = rng.normal(loc=8.0, size=(10, 3))
+        points = np.vstack([normal, outliers])
+        truth = np.r_[np.zeros(200), np.ones(10)]
+        scores = IsolationForest(seed=1).fit_score(points)
+        assert roc_auc(truth, scores) > 0.95
+
+    def test_scores_in_unit_interval(self):
+        rng = np.random.default_rng(1)
+        scores = IsolationForest(n_estimators=20, seed=0).fit_score(
+            rng.normal(size=(50, 2)))
+        assert np.all((scores > 0) & (scores < 1))
+
+    def test_score_before_fit(self):
+        with pytest.raises(RuntimeError):
+            IsolationForest().score(np.zeros((3, 2)))
+
+    def test_too_few_samples(self):
+        with pytest.raises(ValueError):
+            IsolationForest().fit(np.zeros((1, 2)))
+
+    def test_invalid_estimator_count(self):
+        with pytest.raises(ValueError):
+            IsolationForest(n_estimators=0)
+
+    def test_constant_data_uniform_scores(self):
+        scores = IsolationForest(n_estimators=10, seed=0).fit_score(
+            np.ones((30, 2)))
+        assert np.allclose(scores, scores[0])
+
+
+class TestTSNE:
+    def test_output_shape(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(40, 10))
+        coords = tsne(points, n_iter=50, seed=0)
+        assert coords.shape == (40, 2)
+        assert np.isfinite(coords).all()
+
+    def test_separated_clusters_stay_separated(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(25, 5))
+        b = rng.normal(loc=25.0, size=(25, 5))
+        coords = tsne(np.vstack([a, b]), n_iter=300, perplexity=10, seed=0)
+        centroid_a = coords[:25].mean(axis=0)
+        centroid_b = coords[25:].mean(axis=0)
+        spread_a = np.linalg.norm(coords[:25] - centroid_a, axis=1).mean()
+        gap = np.linalg.norm(centroid_a - centroid_b)
+        assert gap > 2 * spread_a
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            tsne(np.zeros((3, 2)))
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        points = rng.normal(size=(20, 4))
+        a = tsne(points, n_iter=30, seed=5)
+        b = tsne(points, n_iter=30, seed=5)
+        np.testing.assert_allclose(a, b)

@@ -1,0 +1,164 @@
+"""Tests for the generalised modularity (paper Eqs. 4–14)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (generalized_modularity_tensor, modularity_loss_terms,
+                        newman_modularity, soft_modularity)
+from repro.graph import high_order_proximity, planted_partition
+from repro.nn import Tensor
+
+
+def two_cliques(k: int = 4) -> tuple[sp.csr_matrix, np.ndarray]:
+    """Two disjoint k-cliques — unambiguous community structure."""
+    block = np.ones((k, k)) - np.eye(k)
+    adj = sp.block_diag([block, block]).tocsr()
+    labels = np.repeat([0, 1], k)
+    return adj, labels
+
+
+def one_hot(labels: np.ndarray, k: int) -> np.ndarray:
+    p = np.zeros((labels.size, k))
+    p[np.arange(labels.size), labels] = 1.0
+    return p
+
+
+class TestNewmanModularity:
+    def test_two_cliques_high(self):
+        adj, labels = two_cliques()
+        assert newman_modularity(adj, labels) == pytest.approx(0.5)
+
+    def test_single_community_zero(self):
+        adj, labels = two_cliques()
+        assert newman_modularity(adj, np.zeros_like(labels)) == pytest.approx(0.0)
+
+    def test_bad_partition_negative_or_small(self):
+        adj, labels = two_cliques()
+        # Alternating partition cuts every community in half.
+        bad = np.arange(8) % 2
+        assert newman_modularity(adj, bad) < 0.1
+
+    def test_matches_networkx(self):
+        import networkx as nx
+        rng = np.random.default_rng(0)
+        g = planted_partition(3, 10, 0.6, 0.05, rng)
+        q_ours = newman_modularity(g.adjacency, g.labels)
+        communities = [set(np.flatnonzero(g.labels == c)) for c in range(3)]
+        q_nx = nx.algorithms.community.modularity(g.to_networkx(), communities)
+        assert q_ours == pytest.approx(q_nx, abs=1e-9)
+
+    def test_empty_graph(self):
+        adj = sp.csr_matrix((4, 4))
+        assert newman_modularity(adj, np.zeros(4)) == 0.0
+
+    def test_label_length_checked(self):
+        adj, _ = two_cliques()
+        with pytest.raises(ValueError):
+            newman_modularity(adj, np.zeros(3))
+
+
+class TestSoftModularity:
+    def test_hard_partition_on_first_order_matches_newman(self):
+        """Property 1: with hard P and first-order A, Q̃ degenerates to Q."""
+        adj, labels = two_cliques()
+        q_newman = newman_modularity(adj, labels)
+        q_soft = soft_modularity(adj, one_hot(labels, 2))
+        assert q_soft == pytest.approx(q_newman, abs=1e-12)
+
+    def test_uniform_membership_is_zero(self):
+        adj, _ = two_cliques()
+        uniform = np.full((8, 2), 0.5)
+        assert soft_modularity(adj, uniform) == pytest.approx(0.0, abs=1e-12)
+
+    def test_soft_weights_change_value(self):
+        """Property 2: different membership weights give different Q̃."""
+        adj, labels = two_cliques()
+        p_hard = one_hot(labels, 2)
+        p_soft = 0.7 * p_hard + 0.3 * (1 - p_hard)
+        assert soft_modularity(adj, p_soft) != pytest.approx(
+            soft_modularity(adj, p_hard))
+
+    def test_correct_partition_beats_wrong(self):
+        adj, labels = two_cliques()
+        good = soft_modularity(adj, one_hot(labels, 2))
+        bad = soft_modularity(adj, one_hot(np.arange(8) % 2, 2))
+        assert good > bad
+
+    def test_high_order_proximity_accepted(self):
+        adj, labels = two_cliques()
+        prox = high_order_proximity(adj, order=3)
+        q = soft_modularity(prox, one_hot(labels, 2))
+        assert q > 0.3
+
+    def test_zero_mass_rejected(self):
+        with pytest.raises(ValueError):
+            modularity_loss_terms(sp.csr_matrix((3, 3)))
+
+
+class TestDifferentiableModularity:
+    def test_matches_numpy_version(self):
+        adj, labels = two_cliques()
+        prox = high_order_proximity(adj, order=2)
+        terms = modularity_loss_terms(prox)
+        p = np.abs(np.random.default_rng(0).normal(size=(8, 2)))
+        p = p / p.sum(axis=1, keepdims=True)
+        q_tensor = generalized_modularity_tensor(Tensor(p), *terms)
+        assert q_tensor.item() == pytest.approx(soft_modularity(prox, p))
+
+    def test_gradient_direction_improves_modularity(self):
+        """One ascent step on P must not decrease Q̃."""
+        adj, labels = two_cliques()
+        prox = high_order_proximity(adj, order=2)
+        terms = modularity_loss_terms(prox)
+        rng = np.random.default_rng(1)
+        p_data = rng.dirichlet(np.ones(2), size=8)
+        p = Tensor(p_data, requires_grad=True)
+        q = generalized_modularity_tensor(p, *terms)
+        q.backward()
+        stepped = p_data + 0.01 * p.grad
+        q_after = soft_modularity(prox, stepped)
+        assert q_after >= q.item() - 1e-9
+
+    def test_numerical_gradient(self):
+        adj, _ = two_cliques(3)
+        prox = high_order_proximity(adj, order=2)
+        terms = modularity_loss_terms(prox)
+        rng = np.random.default_rng(2)
+        p_data = rng.dirichlet(np.ones(2), size=6)
+        p = Tensor(p_data.copy(), requires_grad=True)
+        generalized_modularity_tensor(p, *terms).backward()
+        eps = 1e-6
+        for i in (0, 3):
+            for k in (0, 1):
+                plus = p_data.copy(); plus[i, k] += eps
+                minus = p_data.copy(); minus[i, k] -= eps
+                numeric = (soft_modularity(prox, plus)
+                           - soft_modularity(prox, minus)) / (2 * eps)
+                assert p.grad[i, k] == pytest.approx(numeric, abs=1e-5)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_modularity_bounded(seed):
+    """Q̃ of a row-normalised proximity stays within [-1, 1]."""
+    rng = np.random.default_rng(seed)
+    g = planted_partition(2, 8, 0.6, 0.1, rng)
+    prox = high_order_proximity(g.adjacency, order=2)
+    p = rng.dirichlet(np.ones(3), size=16)
+    q = soft_modularity(prox, p)
+    assert -1.0 <= q <= 1.0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_hard_equals_soft_onehot(seed):
+    """Property 1 holds for random graphs and random hard partitions."""
+    rng = np.random.default_rng(seed)
+    g = planted_partition(2, 8, 0.5, 0.2, rng)
+    labels = rng.integers(0, 3, size=16)
+    q_hard = newman_modularity(g.adjacency, labels)
+    q_soft = soft_modularity(g.adjacency, one_hot(labels, 3))
+    assert q_soft == pytest.approx(q_hard, abs=1e-10)

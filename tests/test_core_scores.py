@@ -1,0 +1,161 @@
+"""Tests for defense score, edge anomaly, rigidity and ψ smoothing."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (community_anomaly_scores,
+                        community_attribute_scores, defense_score,
+                        edge_anomaly_scores, membership_entropy_scores,
+                        rigidity, smoothing_psi)
+
+
+class TestEdgeAnomalyScores:
+    def test_identical_embeddings_score_zero(self):
+        z = np.ones((4, 3))
+        scores = edge_anomaly_scores(z, np.array([[0, 1], [2, 3]]))
+        np.testing.assert_allclose(scores, 0.0, atol=1e-12)
+
+    def test_opposite_embeddings_score_two(self):
+        z = np.array([[1.0, 0.0], [-1.0, 0.0]])
+        scores = edge_anomaly_scores(z, np.array([[0, 1]]))
+        assert scores[0] == pytest.approx(2.0)
+
+    def test_orthogonal_embeddings_score_one(self):
+        z = np.array([[1.0, 0.0], [0.0, 1.0]])
+        scores = edge_anomaly_scores(z, np.array([[0, 1]]))
+        assert scores[0] == pytest.approx(1.0)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            edge_anomaly_scores(np.ones((4, 2)), np.array([0, 1, 2]))
+
+    def test_zero_vector_safe(self):
+        z = np.zeros((2, 3))
+        scores = edge_anomaly_scores(z, np.array([[0, 1]]))
+        assert np.isfinite(scores).all()
+
+
+class TestDefenseScore:
+    def test_fake_edges_cross_community_high_score(self):
+        # Two tight clusters in embedding space.
+        z = np.vstack([np.tile([1.0, 0.0], (5, 1)),
+                       np.tile([0.0, 1.0], (5, 1))])
+        clean = np.array([[0, 1], [1, 2], [5, 6], [6, 7]])
+        fake = np.array([[0, 5], [1, 6]])
+        score = defense_score(z, clean, fake)
+        assert score > 10.0
+
+    def test_indistinguishable_edges_score_one(self):
+        rng = np.random.default_rng(0)
+        z = rng.normal(size=(20, 4))
+        edges = np.array([[i, i + 1] for i in range(10)])
+        score = defense_score(z, edges, edges)
+        assert score == pytest.approx(1.0)
+
+    def test_requires_fake_edges(self):
+        with pytest.raises(ValueError):
+            defense_score(np.ones((2, 2)), np.array([[0, 1]]),
+                          np.empty((0, 2)))
+
+    def test_zero_clean_scores_handled(self):
+        z = np.ones((4, 2))
+        clean = np.array([[0, 1]])
+        fake = np.array([[2, 3]])
+        assert defense_score(z, clean, fake) == 1.0
+
+
+class TestRigidity:
+    def test_one_hot_is_one(self):
+        p = np.eye(5)
+        assert rigidity(p) == pytest.approx(1.0)
+
+    def test_uniform_is_inverse_k(self):
+        p = np.full((10, 4), 0.25)
+        assert rigidity(p) == pytest.approx(0.25)
+
+    def test_monotone_in_sharpness(self):
+        soft = np.full((6, 3), 1 / 3)
+        sharper = np.array([[0.8, 0.1, 0.1]] * 6)
+        assert rigidity(sharper) > rigidity(soft)
+
+
+class TestMembershipEntropy:
+    def test_confident_node_low_score(self):
+        p = np.array([[0.98, 0.01, 0.01], [1 / 3, 1 / 3, 1 / 3]])
+        scores = membership_entropy_scores(p)
+        assert scores[0] < scores[1]
+
+    def test_uniform_maximal(self):
+        k = 4
+        p = np.full((1, k), 1.0 / k)
+        assert membership_entropy_scores(p)[0] == pytest.approx(np.log(k))
+
+    def test_safe_at_zero(self):
+        p = np.array([[1.0, 0.0]])
+        assert np.isfinite(membership_entropy_scores(p)).all()
+
+
+class TestCommunityAttributeScores:
+    def test_conforming_node_scores_low(self):
+        # Two communities with orthogonal feature signatures.
+        p = np.repeat(np.eye(2), 5, axis=0)
+        x = np.repeat(np.array([[1.0, 0.0], [0.0, 1.0]]), 5, axis=0)
+        scores = community_attribute_scores(p, x)
+        np.testing.assert_allclose(scores, 0.0, atol=1e-9)
+
+    def test_misfit_node_scores_high(self):
+        p = np.repeat(np.eye(2), 5, axis=0)
+        x = np.repeat(np.array([[1.0, 0.0], [0.0, 1.0]]), 5, axis=0)
+        x[0] = [0.0, 1.0]  # node 0 carries the other community's features
+        scores = community_attribute_scores(p, x)
+        assert scores[0] > scores[1:].max()
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            community_attribute_scores(np.eye(3), np.ones((4, 2)))
+
+    def test_combined_score_flags_both_outlier_kinds(self):
+        p = np.repeat(np.eye(2), 5, axis=0)
+        p[1] = [0.5, 0.5]          # structural outlier: straddles
+        x = np.repeat(np.array([[1.0, 0.0], [0.0, 1.0]]), 5, axis=0)
+        x[2] = [0.0, 1.0]          # attribute outlier: wrong signature
+        scores = community_anomaly_scores(p, x)
+        normal = np.delete(scores, [1, 2])
+        assert scores[1] > normal.max()
+        assert scores[2] > normal.max()
+
+    def test_combined_score_without_features_is_entropy(self):
+        p = np.repeat(np.eye(3), 4, axis=0)
+        scores = community_anomaly_scores(p)
+        entropy = membership_entropy_scores(p)
+        np.testing.assert_allclose(
+            scores, (entropy - entropy.mean()) / (entropy.std() + 1e-12))
+
+
+class TestSmoothingPsi:
+    def test_range(self):
+        for x in np.linspace(0, 1, 11):
+            assert 0.0 <= smoothing_psi(x, alpha=4.0) <= 0.75
+
+    def test_increasing(self):
+        values = [smoothing_psi(x, alpha=4.0) for x in np.linspace(0, 1, 11)]
+        assert all(b >= a for a, b in zip(values, values[1:]))
+
+    def test_midpoint(self):
+        assert smoothing_psi(0.5, alpha=4.0) == pytest.approx(0.375)
+
+    def test_alpha_sharpens(self):
+        low = smoothing_psi(0.9, alpha=1.0)
+        high = smoothing_psi(0.9, alpha=20.0)
+        assert high > low
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.01, max_value=1), min_size=2, max_size=6))
+def test_property_rigidity_bounds(weights):
+    row = np.array(weights) / np.sum(weights)
+    p = np.tile(row, (7, 1))
+    r = rigidity(p)
+    assert 1.0 / len(weights) - 1e-9 <= r <= 1.0 + 1e-9

@@ -1,0 +1,20 @@
+"""Datasets must be identical across Python processes (stable hashing)."""
+
+import subprocess
+import sys
+
+SNIPPET = """
+from repro.graph import load_dataset
+g = load_dataset("polblogs", scale=0.1, seed=0)
+print(g.num_edges, int(g.adjacency.indices[:50].sum()))
+"""
+
+
+def test_dataset_identical_across_processes():
+    outputs = set()
+    for _ in range(2):
+        result = subprocess.run(
+            [sys.executable, "-c", SNIPPET],
+            capture_output=True, text=True, check=True)
+        outputs.add(result.stdout.strip().splitlines()[-1])
+    assert len(outputs) == 1, f"dataset differs across processes: {outputs}"

@@ -1,0 +1,85 @@
+"""Detailed tests of the AnECI+ denoising machinery (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnECIPlus, smoothing_psi
+from repro.core.denoise import DenoiseResult
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.08, seed=0)
+
+
+class TestDropRatioMechanics:
+    def test_cleaner_graph_drops_fewer_edges(self, graph):
+        """A heavily attacked graph should trigger a larger drop ratio."""
+        from repro.attacks import RandomAttack
+        attacked = RandomAttack(0.5, seed=0).attack(graph).graph
+
+        def fit_plus(g):
+            plus = AnECIPlus(g.num_features,
+                             num_communities=graph.num_classes,
+                             epochs=40, lr=0.02, seed=0, alpha=8.0)
+            plus.fit(g)
+            return plus.denoise_result
+
+        clean_result = fit_plus(graph)
+        attacked_result = fit_plus(attacked)
+        assert (attacked_result.mean_anomaly_score
+                >= clean_result.mean_anomaly_score - 0.05)
+
+    def test_drop_ratio_capped_by_gamma(self, graph):
+        plus = AnECIPlus(graph.num_features,
+                         num_communities=graph.num_classes,
+                         epochs=20, seed=0, alpha=100.0, gamma=0.3)
+        plus.fit(graph)
+        assert plus.denoise_result.drop_ratio <= 0.3 + 1e-9
+
+    def test_zero_alpha_gives_constant_ratio(self):
+        # α = 0 → ψ(x) = γ/2 regardless of x.
+        assert smoothing_psi(0.0, alpha=0.0) == pytest.approx(0.375)
+        assert smoothing_psi(1.0, alpha=0.0) == pytest.approx(0.375)
+
+    def test_denoise_result_fields(self, graph):
+        plus = AnECIPlus(graph.num_features,
+                         num_communities=graph.num_classes,
+                         epochs=20, seed=0)
+        plus.fit(graph)
+        result = plus.denoise_result
+        assert isinstance(result, DenoiseResult)
+        assert result.dropped_edges.shape == (result.num_dropped, 2)
+        assert 0.0 <= result.mean_anomaly_score <= 1.0
+
+    def test_stage_models_are_independent(self, graph):
+        plus = AnECIPlus(graph.num_features,
+                         num_communities=graph.num_classes,
+                         epochs=10, seed=0)
+        plus.fit(graph)
+        assert plus.stage1 is not plus.stage2
+        # Stage 2 trained on fewer (or equal) edges.
+        assert plus.denoised_graph.num_edges <= graph.num_edges
+
+    def test_membership_and_communities_shapes(self, graph):
+        plus = AnECIPlus(graph.num_features,
+                         num_communities=graph.num_classes,
+                         epochs=10, seed=0)
+        plus.fit(graph)
+        p = plus.membership()
+        assert p.shape == (graph.num_nodes, graph.num_classes)
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+        communities = plus.assign_communities()
+        assert communities.shape == (graph.num_nodes,)
+        scores = plus.anomaly_scores()
+        assert scores.shape == (graph.num_nodes,)
+
+    def test_config_kwargs_forwarded_to_both_stages(self, graph):
+        plus = AnECIPlus(graph.num_features,
+                         num_communities=graph.num_classes,
+                         epochs=7, order=3, seed=0)
+        plus.fit(graph)
+        assert plus.stage1.config.order == 3
+        assert plus.stage2.config.order == 3
+        assert len(plus.stage1.history) == 7

@@ -1,0 +1,28 @@
+"""Every example script must run end-to-end (smoke level, reduced scale)."""
+
+import runpy
+import sys
+from pathlib import Path
+from unittest import mock
+
+import pytest
+
+EXAMPLES = sorted(
+    (Path(__file__).parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("path", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(path, monkeypatch):
+    """Run each example with load_dataset patched to a tiny scale."""
+    import repro.graph.datasets as datasets
+
+    original = datasets.load_dataset
+
+    def small(name, scale=1.0, seed=0):
+        return original(name, scale=min(scale, 0.08), seed=seed)
+
+    # Examples import load_dataset through the package root.
+    import repro
+    monkeypatch.setattr(datasets, "load_dataset", small)
+    with mock.patch.object(repro, "load_dataset", small, create=True):
+        runpy.run_path(str(path), run_name="__main__")

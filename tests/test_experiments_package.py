@@ -1,0 +1,126 @@
+"""Tests for the programmatic experiments package."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (ExperimentResult, MethodSpec,
+                               default_embedding_methods,
+                               default_supervised_methods, load_result,
+                               render_report, run_anomaly_detection,
+                               run_community_detection, run_defense_curve,
+                               run_node_classification,
+                               run_random_attack_curve, run_targeted_attack,
+                               run_timing, write_report)
+from repro.graph import Graph, load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.08, seed=0)
+
+
+class TestExperimentResult:
+    def test_markdown_render(self):
+        result = ExperimentResult("demo", {"A": {"acc": 0.9},
+                                           "B": {"acc": 0.8}})
+        md = result.to_markdown()
+        assert "### demo" in md
+        assert "| A | 0.9000 |" in md
+
+    def test_missing_cell_rendered_as_dash(self):
+        result = ExperimentResult("demo", {"A": {"x": 1.0}, "B": {"y": 2.0}})
+        assert "—" in result.to_markdown()
+
+    def test_best(self):
+        result = ExperimentResult("demo", {"A": {"acc": 0.9},
+                                           "B": {"acc": 0.8}})
+        assert result.best("acc") == "A"
+
+    def test_best_missing_column(self):
+        with pytest.raises(KeyError):
+            ExperimentResult("demo", {"A": {"acc": 1.0}}).best("auc")
+
+    def test_json_roundtrip(self, tmp_path):
+        result = ExperimentResult("demo", {"A": {"acc": 0.5}},
+                                  {"graph": "cora"}, 1.5)
+        path = tmp_path / "r.json"
+        result.to_json(path)
+        loaded = load_result(path)
+        assert loaded.rows == result.rows
+        assert loaded.metadata["graph"] == "cora"
+        assert loaded.duration_s == 1.5
+
+
+class TestMethodSpecs:
+    def test_default_zoo_sizes(self):
+        assert len(default_embedding_methods(fast=True)) == 6
+        assert len(default_embedding_methods(fast=False)) == 13
+        assert len(default_supervised_methods()) == 3
+
+    def test_specs_seedable(self):
+        spec = default_embedding_methods()[0]
+        a = spec.build(0)
+        b = spec.build(1)
+        assert a.seed != b.seed
+
+    def test_method_spec_custom(self):
+        spec = MethodSpec("custom", lambda s: s * 2)
+        assert spec.build(3) == 6
+
+
+class TestRunners:
+    """Smoke-level runs on a tiny graph; protocol details are covered by
+    the benchmark suite."""
+
+    def test_node_classification(self, graph):
+        result = run_node_classification(graph, rounds=1)
+        assert "AnECI" in result.rows
+        assert 0.0 <= result.rows["AnECI"]["acc"] <= 1.0
+        assert result.duration_s > 0
+
+    def test_defense_curve(self, graph):
+        result = run_defense_curve(graph, rates=(0.3,))
+        assert result.rows["AnECI"]["d=0.3"] > 0
+
+    def test_targeted_attack_nettack(self, graph):
+        result = run_targeted_attack(graph, attack="nettack",
+                                     perturbations=(1,), num_targets=2)
+        assert "AnECI+" in result.rows
+
+    def test_targeted_attack_invalid_name(self, graph):
+        with pytest.raises(ValueError):
+            run_targeted_attack(graph, attack="bogus", perturbations=(1,),
+                                num_targets=1)
+
+    def test_random_attack_curve(self, graph):
+        result = run_random_attack_curve(graph, rates=(0.0,))
+        assert "noise=0.0" in result.rows["GCN"]
+
+    def test_anomaly_detection(self, graph):
+        result = run_anomaly_detection(graph, kinds=("mix",))
+        assert 0.0 <= result.rows["AnECI"]["mix"] <= 1.0
+
+    def test_community_detection(self, graph):
+        identity = Graph(adjacency=graph.adjacency,
+                         features=np.eye(graph.num_nodes),
+                         labels=graph.labels, name=graph.name)
+        result = run_community_detection(identity)
+        assert "(true labels)" in result.rows
+
+    def test_timing(self, graph):
+        result = run_timing(graph)
+        assert result.rows["AnECI"]["total_s"] > 0
+        assert "per_epoch_s" in result.rows["AnECI"]
+
+
+class TestReport:
+    def test_render_and_write(self, tmp_path):
+        results = [
+            ExperimentResult("table", {"A": {"acc": 0.5}}, {"graph": "g"}),
+        ]
+        text = render_report(results, title="Demo")
+        assert "# Demo" in text
+        assert "### table" in text
+        path = write_report(results, tmp_path / "sub" / "report.md")
+        assert path.exists()
+        assert "### table" in path.read_text()

@@ -1,0 +1,201 @@
+"""Tests for the extension features: SDNE, GraphSAGE, DICE, LFR,
+link prediction, and the AnECI decoder/target ablation knobs."""
+
+import numpy as np
+import pytest
+
+from repro import baselines as B
+from repro.attacks import DICE
+from repro.core import AnECI, AnECIConfig
+from repro.graph import lfr_like, load_dataset
+from repro.tasks import (evaluate_embedding, link_prediction_auc,
+                         link_prediction_split)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.1, seed=0)
+
+
+class TestSDNE:
+    def test_embedding_shape_and_quality(self, graph):
+        z = B.SDNE(epochs=60, seed=0).fit_transform(graph)
+        assert z.shape == (graph.num_nodes, 32)
+        assert evaluate_embedding(z, graph) > 2.0 / graph.num_classes
+
+    def test_beta_validation(self):
+        with pytest.raises(ValueError):
+            B.SDNE(beta=0.5)
+
+    def test_unfitted(self, graph):
+        with pytest.raises(RuntimeError):
+            B.SDNE().embed(graph)
+
+    def test_registered(self):
+        assert "sdne" in B.available_methods()
+
+
+class TestGraphSAGE:
+    def test_embedding_shape_and_quality(self, graph):
+        z = B.GraphSAGE(epochs=40, seed=0).fit_transform(graph)
+        assert z.shape == (graph.num_nodes, 32)
+        assert evaluate_embedding(z, graph) > 2.0 / graph.num_classes
+
+    def test_inductive_on_modified_graph(self, graph):
+        """SAGE generalises to a perturbed graph without retraining."""
+        method = B.GraphSAGE(epochs=20, seed=0).fit(graph)
+        perturbed = graph.add_edges([(0, graph.num_nodes - 1)])
+        z = method.embed(perturbed)
+        assert z.shape == (graph.num_nodes, 32)
+
+    def test_registered(self):
+        assert "graphsage" in B.available_methods()
+
+
+class TestDICE:
+    def test_budget_split(self, graph):
+        result = DICE(0.2, add_ratio=0.5, seed=0).attack(graph)
+        budget = int(round(0.2 * graph.num_edges))
+        assert result.num_perturbations <= budget
+        assert len(result.added_edges) >= 1
+        assert len(result.removed_edges) >= 1
+
+    def test_added_edges_cross_communities(self, graph):
+        result = DICE(0.2, seed=1).attack(graph)
+        labels = graph.labels
+        for u, v in result.added_edges:
+            assert labels[u] != labels[v]
+
+    def test_removed_edges_internal(self, graph):
+        result = DICE(0.2, seed=2).attack(graph)
+        labels = graph.labels
+        for u, v in result.removed_edges:
+            assert labels[u] == labels[v]
+
+    def test_requires_labels(self, graph):
+        from repro.graph import Graph
+        bare = Graph(adjacency=graph.adjacency, features=graph.features)
+        with pytest.raises(ValueError):
+            DICE(0.1).attack(bare)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DICE(-0.1)
+        with pytest.raises(ValueError):
+            DICE(0.1, add_ratio=1.5)
+
+    def test_hurts_community_embedding_more_than_random(self, graph):
+        """DICE specifically targets community structure."""
+        from repro.attacks import RandomAttack
+        from repro.core import newman_modularity
+        diced = DICE(0.4, seed=0).attack(graph).graph
+        randomed = RandomAttack(0.4, seed=0).attack(graph).graph
+        q_dice = newman_modularity(diced.adjacency, graph.labels)
+        q_random = newman_modularity(randomed.adjacency, graph.labels)
+        assert q_dice < q_random
+
+
+class TestLFR:
+    def test_sizes_and_mixing(self):
+        rng = np.random.default_rng(0)
+        g = lfr_like(300, rng, mixing=0.15, avg_degree=8)
+        assert g.num_nodes == 300
+        edges = g.edge_list()
+        cross = np.mean(g.labels[edges[:, 0]] != g.labels[edges[:, 1]])
+        assert cross < 0.4
+
+    def test_power_law_sizes_unequal(self):
+        rng = np.random.default_rng(1)
+        g = lfr_like(400, rng, min_community=15)
+        sizes = np.bincount(g.labels)
+        assert sizes.max() > sizes.min()
+        assert sizes.min() >= 15
+
+    def test_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            lfr_like(10, rng, min_community=10)
+        with pytest.raises(ValueError):
+            lfr_like(100, rng, mixing=1.0)
+
+    def test_feature_mode(self):
+        rng = np.random.default_rng(2)
+        g = lfr_like(200, rng, num_features=50)
+        assert g.num_features == 50
+
+
+class TestLinkPrediction:
+    def test_split_counts_and_disjoint(self, graph):
+        rng = np.random.default_rng(0)
+        train, pos, neg = link_prediction_split(graph, 0.1, rng)
+        assert len(pos) == len(neg)
+        assert train.num_edges == graph.num_edges - len(pos)
+        existing = graph.edge_set()
+        for u, v in neg:
+            assert (min(u, v), max(u, v)) not in existing
+
+    def test_no_isolated_nodes_created(self, graph):
+        rng = np.random.default_rng(1)
+        train, _, _ = link_prediction_split(graph, 0.2, rng)
+        original_connected = graph.degrees() > 0
+        assert np.all(train.degrees()[original_connected] >= 1)
+
+    def test_auc_of_informative_embedding(self, graph):
+        rng = np.random.default_rng(2)
+        train, pos, neg = link_prediction_split(graph, 0.1, rng)
+        model = AnECI(train.num_features, num_communities=graph.num_classes,
+                      epochs=60, lr=0.02, seed=0)
+        z = model.fit_transform(train)
+        auc = link_prediction_auc(z, pos, neg)
+        assert auc > 0.6
+
+    def test_invalid_fraction(self, graph):
+        with pytest.raises(ValueError):
+            link_prediction_split(graph, 0.0, np.random.default_rng(0))
+
+    def test_invalid_score(self):
+        with pytest.raises(ValueError):
+            link_prediction_auc(np.ones((4, 2)), np.array([[0, 1]]),
+                                np.array([[2, 3]]), score="bogus")
+
+
+class TestAnECIAblationKnobs:
+    def test_decoder_source_embedding_runs(self, graph):
+        model = AnECI(graph.num_features, num_communities=graph.num_classes,
+                      epochs=10, decoder_source="embedding", seed=0)
+        z = model.fit_transform(graph)
+        assert z.shape == (graph.num_nodes, graph.num_classes)
+
+    def test_first_order_target_runs(self, graph):
+        model = AnECI(graph.num_features, num_communities=graph.num_classes,
+                      epochs=10, recon_target="first_order", seed=0)
+        z = model.fit_transform(graph)
+        assert np.isfinite(z).all()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            AnECIConfig(num_communities=3, decoder_source="bogus")
+        with pytest.raises(ValueError):
+            AnECIConfig(num_communities=3, recon_target="bogus")
+
+    def test_katz_proximity_mode(self, graph):
+        model = AnECI(graph.num_features, num_communities=graph.num_classes,
+                      epochs=10, proximity_kind="katz", katz_beta=0.2,
+                      seed=0)
+        z = model.fit_transform(graph)
+        assert np.isfinite(z).all()
+
+    def test_katz_config_validation(self):
+        with pytest.raises(ValueError):
+            AnECIConfig(num_communities=3, proximity_kind="bogus")
+        with pytest.raises(ValueError):
+            AnECIConfig(num_communities=3, proximity_kind="katz",
+                        katz_beta=2.0)
+
+    def test_variants_differ(self, graph):
+        base = AnECI(graph.num_features, num_communities=graph.num_classes,
+                     epochs=10, seed=0).fit_transform(graph)
+        alt = AnECI(graph.num_features, num_communities=graph.num_classes,
+                    epochs=10, seed=0,
+                    recon_target="first_order").fit_transform(graph)
+        assert not np.allclose(base, alt)

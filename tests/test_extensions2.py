@@ -1,0 +1,193 @@
+"""Tests for the second extension wave: stats, GATE, ONE, Metattack,
+LR schedulers."""
+
+import numpy as np
+import pytest
+
+from repro import baselines as B
+from repro.attacks import LinearSurrogate, Metattack
+from repro.graph import (average_clustering, degree_histogram, graph_summary,
+                         homophily_index, largest_component_fraction,
+                         load_dataset, planted_partition)
+from repro.nn import (Adam, CosineAnnealingLR, LinearWarmup, Parameter,
+                      StepLR)
+from repro.tasks import evaluate_embedding
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.1, seed=0)
+
+
+class TestGraphStats:
+    def test_degree_histogram_sums_to_n(self, graph):
+        hist = degree_histogram(graph)
+        assert hist.sum() == graph.num_nodes
+
+    def test_clustering_of_triangle(self):
+        import scipy.sparse as sp
+        from repro.graph import Graph
+        adj = sp.csr_matrix(np.ones((3, 3)) - np.eye(3))
+        g = Graph(adjacency=adj, features=np.eye(3))
+        assert average_clustering(g) == pytest.approx(1.0)
+
+    def test_clustering_of_star_is_zero(self):
+        import scipy.sparse as sp
+        from repro.graph import Graph
+        adj = sp.lil_matrix((4, 4))
+        for i in (1, 2, 3):
+            adj[0, i] = adj[i, 0] = 1
+        g = Graph(adjacency=adj.tocsr(), features=np.eye(4))
+        assert average_clustering(g) == pytest.approx(0.0)
+
+    def test_homophily_on_planted(self):
+        rng = np.random.default_rng(0)
+        g = planted_partition(2, 30, 0.5, 0.01, rng)
+        assert homophily_index(g) > 0.8
+
+    def test_homophily_requires_labels(self, graph):
+        from repro.graph import Graph
+        bare = Graph(adjacency=graph.adjacency, features=graph.features)
+        with pytest.raises(ValueError):
+            homophily_index(bare)
+
+    def test_largest_component(self):
+        import scipy.sparse as sp
+        from repro.graph import Graph
+        # Two disconnected edges + 2 isolated nodes.
+        adj = sp.lil_matrix((6, 6))
+        adj[0, 1] = adj[1, 0] = 1
+        adj[2, 3] = adj[3, 2] = 1
+        g = Graph(adjacency=adj.tocsr(), features=np.eye(6))
+        assert largest_component_fraction(g) == pytest.approx(2 / 6)
+
+    def test_summary_keys(self, graph):
+        summary = graph_summary(graph)
+        for key in ("nodes", "edges", "avg_degree", "homophily",
+                    "clustering", "largest_component"):
+            assert key in summary
+
+    def test_sampled_clustering_close_to_full(self, graph):
+        full = average_clustering(graph)
+        sampled = average_clustering(graph, sample=graph.num_nodes)
+        assert sampled == pytest.approx(full)
+
+
+class TestGATE:
+    def test_embedding_quality(self, graph):
+        z = B.GATE(epochs=40, seed=0).fit_transform(graph)
+        assert z.shape == (graph.num_nodes, 16)
+        assert evaluate_embedding(z, graph) > 2.0 / graph.num_classes
+
+    def test_registered(self):
+        assert "gate" in B.available_methods()
+
+    def test_unfitted(self, graph):
+        with pytest.raises(RuntimeError):
+            B.GATE().embed(graph)
+
+
+class TestONE:
+    def test_embedding_shape(self, graph):
+        method = B.ONE(dim=8, iterations=5, seed=0).fit(graph)
+        z = method.embed()
+        assert z.shape == (graph.num_nodes, 16)
+        assert np.isfinite(z).all()
+
+    def test_outlier_scores_available(self, graph):
+        method = B.ONE(dim=8, iterations=5, seed=0).fit(graph)
+        scores = method.anomaly_scores()
+        assert scores.shape == (graph.num_nodes,)
+        assert np.all(scores >= 0)
+
+    def test_detects_planted_attribute_outliers(self):
+        """ONE's residual weights flag attribute outliers (its strength)."""
+        from repro.anomalies import seed_outliers
+        from repro.tasks import anomaly_auc
+        base = load_dataset("cora", scale=0.08, seed=0)
+        rng = np.random.default_rng(0)
+        augmented, mask = seed_outliers(base, rng, fraction=0.05,
+                                        kind="attribute")
+        method = B.ONE(dim=8, iterations=10, seed=0).fit(augmented)
+        assert anomaly_auc(mask, method.anomaly_scores()) > 0.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            B.ONE(dim=0)
+
+
+class TestMetattack:
+    def test_budget_respected(self, graph):
+        surrogate = LinearSurrogate(seed=0).fit(graph)
+        result = Metattack(0.05, surrogate=surrogate).attack(graph)
+        budget = int(round(0.05 * graph.num_edges))
+        assert 0 < result.num_perturbations <= budget
+
+    def test_increases_training_loss(self, graph):
+        """The meta-gradient flips must hurt the surrogate's fit."""
+        surrogate = LinearSurrogate(seed=0).fit(graph)
+        result = Metattack(0.1, surrogate=surrogate).attack(graph)
+
+        def overall_accuracy(g):
+            pred = surrogate.predict(g.adjacency, g.features)
+            return np.mean(pred == graph.labels)
+
+        assert overall_accuracy(result.graph) < overall_accuracy(graph)
+
+    def test_requires_labels(self, graph):
+        from repro.graph import Graph
+        bare = Graph(adjacency=graph.adjacency, features=graph.features)
+        with pytest.raises(ValueError):
+            Metattack(0.1).attack(bare)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Metattack(-0.1)
+        with pytest.raises(ValueError):
+            Metattack(0.1, flips_per_step=0)
+
+
+class TestSchedulers:
+    def _optimizer(self, lr=1.0):
+        return Adam([Parameter(np.zeros(2))], lr=lr)
+
+    def test_step_lr_halves(self):
+        opt = self._optimizer()
+        sched = StepLR(opt, step_size=2, gamma=0.5)
+        lrs = []
+        for _ in range(4):
+            sched.step()
+            lrs.append(opt.lr)
+        assert lrs == [1.0, 0.5, 0.5, 0.25]
+
+    def test_cosine_reaches_min(self):
+        opt = self._optimizer()
+        sched = CosineAnnealingLR(opt, t_max=10, eta_min=0.1)
+        for _ in range(10):
+            sched.step()
+        assert opt.lr == pytest.approx(0.1)
+
+    def test_cosine_monotone_decreasing(self):
+        opt = self._optimizer()
+        sched = CosineAnnealingLR(opt, t_max=20)
+        previous = opt.lr
+        for _ in range(20):
+            sched.step()
+            assert opt.lr <= previous + 1e-12
+            previous = opt.lr
+
+    def test_warmup_ramps(self):
+        opt = self._optimizer()
+        sched = LinearWarmup(opt, warmup_epochs=4)
+        assert opt.lr < 1.0
+        for _ in range(5):
+            sched.step()
+        assert opt.lr == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StepLR(self._optimizer(), step_size=0)
+        with pytest.raises(ValueError):
+            CosineAnnealingLR(self._optimizer(), t_max=0)
+        with pytest.raises(ValueError):
+            LinearWarmup(self._optimizer(), warmup_epochs=0)

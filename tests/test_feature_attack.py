@@ -1,0 +1,63 @@
+"""Tests for the attribute-poisoning attack."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import FeatureAttack
+from repro.graph import load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.1, seed=0)
+
+
+class TestFeatureAttack:
+    def test_structure_untouched(self, graph):
+        result = FeatureAttack(flips_per_node=5, seed=0).attack(graph)
+        assert (result.graph.adjacency != graph.adjacency).nnz == 0
+        assert result.num_perturbations == 0  # no edge flips
+
+    def test_features_changed_for_targets_only(self, graph):
+        targets = np.array([0, 1, 2])
+        result = FeatureAttack(flips_per_node=5, seed=0).attack(
+            graph, targets=targets)
+        changed = np.flatnonzero(
+            np.any(result.graph.features != graph.features, axis=1))
+        assert set(changed) <= set(targets.tolist())
+        assert len(changed) >= 1
+
+    def test_uninformed_flip_count_bounded(self, graph):
+        result = FeatureAttack(flips_per_node=5, informed=False,
+                               seed=0).attack(graph, targets=np.array([0]))
+        diff = np.sum(result.graph.features[0] != graph.features[0])
+        assert 1 <= diff <= 5
+
+    def test_informed_attack_damages_class_signal(self, graph):
+        """Informed flips must hurt a feature-only classifier more."""
+        from repro.tasks import evaluate_embedding
+        targets = graph.test_idx
+        informed = FeatureAttack(flips_per_node=20, informed=True,
+                                 seed=0).attack(graph, targets=targets).graph
+        uninformed = FeatureAttack(flips_per_node=20, informed=False,
+                                   seed=0).attack(graph,
+                                                  targets=targets).graph
+        acc_informed = evaluate_embedding(informed.features, informed)
+        acc_uninformed = evaluate_embedding(uninformed.features, uninformed)
+        assert acc_informed < acc_uninformed
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FeatureAttack(flips_per_node=0)
+
+    def test_original_graph_unmodified(self, graph):
+        before = graph.features.copy()
+        FeatureAttack(flips_per_node=5, seed=0).attack(graph)
+        np.testing.assert_allclose(graph.features, before)
+
+    def test_works_without_labels(self, graph):
+        from repro.graph import Graph
+        bare = Graph(adjacency=graph.adjacency, features=graph.features)
+        result = FeatureAttack(flips_per_node=3, informed=True,
+                               seed=0).attack(bare, targets=np.array([0]))
+        assert np.any(result.graph.features[0] != bare.features[0])

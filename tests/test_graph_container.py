@@ -1,0 +1,153 @@
+"""Tests for the Graph container and adjacency normalisation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.graph import Graph, edges_from_adjacency, normalized_adjacency
+
+
+def triangle_graph(**kwargs) -> Graph:
+    adj = sp.csr_matrix(np.array([
+        [0, 1, 1],
+        [1, 0, 1],
+        [1, 1, 0],
+    ], dtype=float))
+    return Graph(adjacency=adj, features=np.eye(3), **kwargs)
+
+
+class TestConstruction:
+    def test_basic_statistics(self):
+        g = triangle_graph()
+        assert g.num_nodes == 3
+        assert g.num_edges == 3
+        assert g.num_features == 3
+        assert g.density() == pytest.approx(1.0)
+
+    def test_degrees(self):
+        g = triangle_graph()
+        np.testing.assert_allclose(g.degrees(), [2, 2, 2])
+
+    def test_rejects_asymmetric(self):
+        adj = sp.csr_matrix(np.array([[0, 1], [0, 0]], dtype=float))
+        with pytest.raises(ValueError, match="symmetric"):
+            Graph(adjacency=adj, features=np.eye(2))
+
+    def test_rejects_self_loops(self):
+        adj = sp.csr_matrix(np.eye(2))
+        with pytest.raises(ValueError, match="self-loops"):
+            Graph(adjacency=adj, features=np.eye(2))
+
+    def test_rejects_nonbinary(self):
+        adj = sp.csr_matrix(np.array([[0, 2.0], [2.0, 0]]))
+        with pytest.raises(ValueError, match="binary"):
+            Graph(adjacency=adj, features=np.eye(2))
+
+    def test_rejects_feature_mismatch(self):
+        adj = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        with pytest.raises(ValueError, match="rows"):
+            Graph(adjacency=adj, features=np.eye(3))
+
+    def test_rejects_nonsquare(self):
+        with pytest.raises(ValueError, match="square"):
+            Graph(adjacency=sp.csr_matrix(np.ones((2, 3))), features=np.eye(2))
+
+    def test_rejects_bad_labels(self):
+        adj = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        with pytest.raises(ValueError, match="labels"):
+            Graph(adjacency=adj, features=np.eye(2), labels=np.array([0]))
+
+    def test_num_classes(self):
+        g = triangle_graph(labels=np.array([0, 1, 1]))
+        assert g.num_classes == 2
+
+    def test_num_classes_requires_labels(self):
+        with pytest.raises(ValueError, match="labels"):
+            triangle_graph().num_classes
+
+
+class TestEdgeOperations:
+    def test_edge_list_upper_triangle(self):
+        edges = triangle_graph().edge_list()
+        assert edges.shape == (3, 2)
+        assert np.all(edges[:, 0] < edges[:, 1])
+
+    def test_edge_set(self):
+        assert triangle_graph().edge_set() == {(0, 1), (0, 2), (1, 2)}
+
+    def test_has_edge(self):
+        g = triangle_graph().remove_edges([(0, 1)])
+        assert not g.has_edge(0, 1)
+        assert g.has_edge(1, 2)
+
+    def test_add_edges_symmetric(self):
+        g = triangle_graph().remove_edges([(0, 1)]).add_edges([(0, 1)])
+        assert g.has_edge(0, 1) and g.has_edge(1, 0)
+
+    def test_add_edges_returns_new_graph(self):
+        g = triangle_graph().remove_edges([(0, 1)])
+        g2 = g.add_edges([(0, 1)])
+        assert not g.has_edge(0, 1)
+        assert g2.has_edge(0, 1)
+
+    def test_add_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            triangle_graph().add_edges([(1, 1)])
+
+    def test_remove_missing_edge_is_noop(self):
+        g = triangle_graph().remove_edges([(0, 1)])
+        g2 = g.remove_edges([(0, 1)])
+        assert g2.num_edges == g.num_edges
+
+    def test_flip_edges(self):
+        g = triangle_graph().flip_edges([(0, 1)])
+        assert not g.has_edge(0, 1)
+        g2 = g.flip_edges([(0, 1)])
+        assert g2.has_edge(0, 1)
+
+    def test_with_adjacency_keeps_features(self):
+        g = triangle_graph()
+        g2 = g.with_adjacency(g.adjacency, attacked=True)
+        assert g2.metadata["attacked"]
+        np.testing.assert_allclose(g2.features, g.features)
+
+    def test_edges_from_adjacency_helper(self):
+        edges = edges_from_adjacency(triangle_graph().adjacency)
+        assert len(edges) == 3
+
+
+class TestInterop:
+    def test_to_networkx(self):
+        g = triangle_graph(labels=np.array([0, 0, 1])).to_networkx()
+        assert g.number_of_edges() == 3
+        assert g.nodes[2]["label"] == 1
+
+    def test_copy_is_deep_for_arrays(self):
+        g = triangle_graph()
+        g2 = g.copy()
+        g2.features[0, 0] = 99.0
+        assert g.features[0, 0] == 1.0
+
+    def test_repr(self):
+        assert "nodes=3" in repr(triangle_graph())
+
+
+class TestNormalizedAdjacency:
+    def test_row_stochastic_on_regular_graph(self):
+        # For a k-regular graph with self-loops, rows sum to 1.
+        norm = normalized_adjacency(triangle_graph().adjacency)
+        np.testing.assert_allclose(
+            np.asarray(norm.sum(axis=1)).ravel(), np.ones(3), atol=1e-12)
+
+    def test_symmetric(self):
+        norm = normalized_adjacency(triangle_graph().adjacency)
+        assert (norm != norm.T).nnz == 0
+
+    def test_isolated_node_row_is_zero_without_self_loops(self):
+        adj = sp.csr_matrix((3, 3))
+        norm = normalized_adjacency(adj, self_loops=False)
+        assert norm.nnz == 0
+
+    def test_self_loops_flag(self):
+        norm = normalized_adjacency(triangle_graph().adjacency, self_loops=False)
+        assert norm.diagonal().sum() == 0

@@ -1,0 +1,30 @@
+"""Round-trip tests for graph serialisation."""
+
+import numpy as np
+
+from repro.graph import load_dataset, load_graph, save_graph
+
+
+def test_roundtrip_preserves_everything(tmp_path):
+    g = load_dataset("cora", scale=0.1, seed=3)
+    path = tmp_path / "cora.npz"
+    save_graph(g, path)
+    loaded = load_graph(path)
+    assert (loaded.adjacency != g.adjacency).nnz == 0
+    np.testing.assert_allclose(loaded.features, g.features)
+    np.testing.assert_array_equal(loaded.labels, g.labels)
+    np.testing.assert_array_equal(loaded.train_idx, g.train_idx)
+    np.testing.assert_array_equal(loaded.test_idx, g.test_idx)
+    assert loaded.name == "cora"
+
+
+def test_roundtrip_without_labels(tmp_path):
+    from repro.graph import planted_partition
+    g = planted_partition(2, 10, 0.5, 0.1, np.random.default_rng(0))
+    g = g.with_labels(g.labels)  # keep labels
+    bare = g.__class__(adjacency=g.adjacency, features=g.features)
+    path = tmp_path / "bare.npz"
+    save_graph(bare, path)
+    loaded = load_graph(path)
+    assert loaded.labels is None
+    assert loaded.num_edges == bare.num_edges

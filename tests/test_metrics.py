@@ -1,0 +1,152 @@
+"""Tests for classification/ranking/community metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics import (accuracy, adjusted_rand_index, average_precision,
+                           confusion_matrix, macro_f1,
+                           normalized_mutual_info, roc_auc)
+
+
+class TestAccuracy:
+    def test_perfect(self):
+        assert accuracy(np.array([0, 1, 2]), np.array([0, 1, 2])) == 1.0
+
+    def test_half(self):
+        assert accuracy(np.array([0, 1]), np.array([0, 0])) == 0.5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([0, 1]), np.array([0]))
+
+    def test_empty(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestConfusionAndF1:
+    def test_confusion_matrix(self):
+        m = confusion_matrix(np.array([0, 0, 1]), np.array([0, 1, 1]))
+        np.testing.assert_array_equal(m, [[1, 1], [0, 1]])
+
+    def test_macro_f1_perfect(self):
+        y = np.array([0, 1, 2, 0, 1, 2])
+        assert macro_f1(y, y) == 1.0
+
+    def test_macro_f1_worst(self):
+        assert macro_f1(np.array([0, 0]), np.array([1, 1])) == 0.0
+
+    def test_macro_f1_known_value(self):
+        y_true = np.array([0, 0, 1, 1])
+        y_pred = np.array([0, 1, 1, 1])
+        # class0: P=1, R=.5, F1=2/3; class1: P=2/3, R=1, F1=0.8
+        assert macro_f1(y_true, y_pred) == pytest.approx((2 / 3 + 0.8) / 2)
+
+
+class TestRocAuc:
+    def test_perfect_separation(self):
+        assert roc_auc(np.array([0, 0, 1, 1]),
+                       np.array([0.1, 0.2, 0.8, 0.9])) == 1.0
+
+    def test_inverted(self):
+        assert roc_auc(np.array([1, 1, 0, 0]),
+                       np.array([0.1, 0.2, 0.8, 0.9])) == 0.0
+
+    def test_random_is_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        scores = rng.random(4000)
+        assert roc_auc(y, scores) == pytest.approx(0.5, abs=0.03)
+
+    def test_ties_midrank(self):
+        # All scores equal → AUC must be exactly 0.5.
+        assert roc_auc(np.array([0, 1, 0, 1]), np.zeros(4)) == 0.5
+
+    def test_single_class_rejected(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(4), np.arange(4))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            roc_auc(np.ones(3), np.ones(4))
+
+
+class TestAveragePrecision:
+    def test_perfect(self):
+        assert average_precision(np.array([0, 1]), np.array([0.1, 0.9])) == 1.0
+
+    def test_known_value(self):
+        # Ranking: [1, 0, 1] → AP = (1/1 + 2/3)/2
+        ap = average_precision(np.array([1, 0, 1]),
+                               np.array([0.9, 0.8, 0.7]))
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_no_positives(self):
+        with pytest.raises(ValueError):
+            average_precision(np.zeros(3), np.arange(3))
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_info(labels, labels) == pytest.approx(1.0)
+
+    def test_permuted_labels_still_one(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 2, 2])
+        assert normalized_mutual_info(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([0, 1, 0, 1])
+        assert normalized_mutual_info(a, b) == pytest.approx(0.0, abs=1e-9)
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_info(np.zeros(3), np.zeros(4))
+
+    def test_trivial_partitions(self):
+        assert normalized_mutual_info(np.zeros(4), np.zeros(4)) == 1.0
+
+
+class TestARI:
+    def test_identical(self):
+        labels = np.array([0, 0, 1, 1])
+        assert adjusted_rand_index(labels, labels) == 1.0
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 3, 600)
+        b = rng.integers(0, 3, 600)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([2, 2, 0, 0, 1, 1])
+        assert adjusted_rand_index(a, b) == 1.0
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=3), min_size=4, max_size=30))
+def test_property_nmi_symmetric(labels):
+    rng = np.random.default_rng(42)
+    a = np.array(labels)
+    b = rng.integers(0, 3, size=len(labels))
+    assert normalized_mutual_info(a, b) == pytest.approx(
+        normalized_mutual_info(b, a), abs=1e-9)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(min_value=2, max_value=50), st.integers(min_value=0, max_value=9999))
+def test_property_auc_complement(n, seed):
+    rng = np.random.default_rng(seed)
+    y = np.zeros(n, dtype=int)
+    y[: n // 2 + 1] = 1
+    rng.shuffle(y)
+    if y.sum() in (0, n):
+        return
+    scores = rng.random(n)
+    assert roc_auc(y, scores) == pytest.approx(1.0 - roc_auc(1 - y, scores),
+                                               abs=1e-9)

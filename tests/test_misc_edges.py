@@ -1,0 +1,140 @@
+"""Edge-case tests sweeping the corners the main suites skip."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, concat, tensor
+
+
+class TestTensorCorners:
+    def test_rsub(self):
+        t = tensor([1.0, 2.0], requires_grad=True)
+        (5.0 - t).sum().backward()
+        np.testing.assert_allclose(t.grad, [-1.0, -1.0])
+
+    def test_rtruediv(self):
+        t = tensor([2.0, 4.0], requires_grad=True)
+        (8.0 / t).sum().backward()
+        np.testing.assert_allclose(t.grad, [-2.0, -0.5])
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            tensor([1.0]) ** tensor([2.0])
+
+    def test_reshape_with_tuple(self):
+        t = tensor(np.arange(6.0))
+        assert t.reshape((2, 3)).shape == (2, 3)
+
+    def test_mean_axis_tuple(self):
+        t = tensor(np.ones((2, 3, 4)), requires_grad=True)
+        out = t.mean(axis=(0, 2))
+        assert out.shape == (3,)
+        out.sum().backward()
+        np.testing.assert_allclose(t.grad, np.full((2, 3, 4), 1 / 8))
+
+    def test_concat_axis1_gradients(self):
+        a = tensor(np.ones((2, 2)), requires_grad=True)
+        b = tensor(np.ones((2, 3)), requires_grad=True)
+        out = concat([a, b], axis=1)
+        (out * np.arange(10.0).reshape(2, 5)).sum().backward()
+        np.testing.assert_allclose(a.grad, [[0, 1], [5, 6]])
+        np.testing.assert_allclose(b.grad, [[2, 3, 4], [7, 8, 9]])
+
+    def test_len_and_size(self):
+        t = tensor(np.zeros((4, 3)))
+        assert len(t) == 4
+        assert t.size == 12
+        assert t.ndim == 2
+
+    def test_numpy_returns_view(self):
+        t = tensor(np.zeros(3))
+        t.numpy()[0] = 5.0
+        assert t.data[0] == 5.0
+
+
+class TestGraphIOErrors:
+    def test_load_missing_file(self, tmp_path):
+        from repro.graph import load_graph
+        with pytest.raises(FileNotFoundError):
+            load_graph(tmp_path / "nope.npz")
+
+    def test_load_garbage_file(self, tmp_path):
+        from repro.graph import load_graph
+        path = tmp_path / "bad.npz"
+        path.write_bytes(b"this is not an npz")
+        with pytest.raises(Exception):
+            load_graph(path)
+
+
+class TestDoneOutlierProperty:
+    def test_seeded_outliers_score_above_median(self):
+        """DONE's residual weights should rank planted outliers high."""
+        from repro.anomalies import seed_outliers
+        from repro.baselines import DONE
+        from repro.graph import load_dataset
+        graph = load_dataset("cora", scale=0.08, seed=0)
+        rng = np.random.default_rng(0)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.05,
+                                        kind="attribute")
+        scores = DONE(epochs=30, seed=0).fit(augmented).anomaly_scores()
+        outlier_mean = scores[mask].mean()
+        median = np.median(scores[~mask])
+        assert outlier_mean > median
+
+    def test_adone_scores_differ_from_done(self):
+        from repro.baselines import ADONE, DONE
+        from repro.graph import load_dataset
+        graph = load_dataset("cora", scale=0.08, seed=0)
+        done_scores = DONE(epochs=10, seed=0).fit(graph).anomaly_scores()
+        adone_scores = ADONE(epochs=10, seed=0).fit(graph).anomaly_scores()
+        assert not np.allclose(done_scores, adone_scores)
+
+
+class TestCLICommunityMethods:
+    def test_vgraph_via_cli_builder(self):
+        from repro.cli import _build_method
+        from repro.graph import load_dataset
+        graph = load_dataset("cora", scale=0.05, seed=0)
+        method = _build_method("vgraph", graph, epochs=None, seed=0)
+        from repro.baselines import VGraph
+        assert isinstance(method, VGraph)
+        assert method.k == graph.num_classes
+
+    def test_aneci_plus_via_cli_builder(self):
+        from repro.cli import _build_method
+        from repro.core import AnECIPlus
+        from repro.graph import load_dataset
+        graph = load_dataset("cora", scale=0.05, seed=0)
+        method = _build_method("aneci+", graph, epochs=5, seed=0)
+        assert isinstance(method, AnECIPlus)
+
+
+class TestSVGScaleDegenerate:
+    def test_constant_scale_maps_to_pixel_lo(self):
+        from repro.viz.svg import _Scale
+        scale = _Scale(2.0, 2.0, 10.0, 90.0)
+        assert scale(2.0) == 10.0  # degenerate span handled, no div-by-zero
+
+
+class TestAnomalySeedingMix:
+    def test_mix_contains_multiple_kinds(self):
+        """The mix seeding should not silently produce one kind only."""
+        from repro.anomalies import seed_outliers
+        from repro.graph import load_dataset
+        graph = load_dataset("cora", scale=0.15, seed=0)
+        rng = np.random.default_rng(0)
+        augmented, mask = seed_outliers(graph, rng, fraction=0.06,
+                                        kind="mix")
+        # With >= 6 outliers the three kinds each appear at least once;
+        # structural ones break homophily, attribute ones keep it, so the
+        # outlier cross-community rates must be heterogeneous.
+        labels = augmented.labels
+        outlier_ids = np.flatnonzero(mask)
+        cross_rates = []
+        for node in outlier_ids:
+            neighbours = augmented.adjacency[node].indices
+            if len(neighbours) == 0:
+                continue
+            cross_rates.append(
+                np.mean(labels[neighbours] != labels[node]))
+        assert np.std(cross_rates) > 0.05

@@ -1,0 +1,236 @@
+"""Tests for layers, initialisers, optimisers and loss functions."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.nn import (SGD, Adam, Dropout, GCNConv, Linear, Module, Parameter,
+                      Sequential, Tensor, functional as F, init)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestInit:
+    def test_glorot_uniform_bounds(self, rng):
+        w = init.glorot_uniform((100, 50), rng)
+        limit = np.sqrt(6.0 / 150)
+        assert np.all(np.abs(w) <= limit)
+
+    def test_glorot_normal_std(self, rng):
+        w = init.glorot_normal((2000, 1000), rng)
+        assert w.std() == pytest.approx(np.sqrt(2.0 / 3000), rel=0.05)
+
+    def test_zeros_and_ones(self):
+        assert init.zeros((3,)).sum() == 0
+        assert init.ones((3,)).sum() == 3
+
+    def test_vector_fans(self, rng):
+        w = init.glorot_uniform((10,), rng)
+        assert w.shape == (10,)
+
+    def test_empty_shape_rejected(self, rng):
+        with pytest.raises(ValueError):
+            init.glorot_uniform((), rng)
+
+
+class TestLinear:
+    def test_forward_shape(self, rng):
+        layer = Linear(4, 3, rng)
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self, rng):
+        layer = Linear(4, 3, rng, bias=False)
+        assert layer.bias is None
+        out = layer(Tensor(np.zeros((2, 4))))
+        np.testing.assert_allclose(out.data, 0)
+
+    def test_parameters_discovered(self, rng):
+        layer = Linear(4, 3, rng)
+        assert len(list(layer.parameters())) == 2
+
+
+class TestGCNConv:
+    def test_identity_adjacency_reduces_to_linear(self, rng):
+        conv = GCNConv(4, 2, rng)
+        x = np.ones((3, 4))
+        out = conv(Tensor(x), sp.eye(3, format="csr"))
+        np.testing.assert_allclose(out.data, x @ conv.weight.data)
+
+    def test_propagation_averages_neighbours(self, rng):
+        conv = GCNConv(1, 1, rng)
+        conv.weight.data[...] = 1.0
+        adj = sp.csr_matrix(np.array([[0, 1.0], [1.0, 0]]))
+        out = conv(Tensor(np.array([[1.0], [3.0]])), adj)
+        np.testing.assert_allclose(out.data, [[3.0], [1.0]])
+
+    def test_gradient_flows_to_weight(self, rng):
+        conv = GCNConv(3, 2, rng)
+        out = conv(Tensor(np.ones((4, 3))), sp.eye(4, format="csr"))
+        out.sum().backward()
+        assert conv.weight.grad is not None
+        assert conv.weight.grad.shape == (3, 2)
+
+
+class TestModuleMechanics:
+    def test_train_eval_propagates(self, rng):
+        model = Sequential(Linear(3, 3, rng), Dropout(0.5, rng))
+        model.eval()
+        assert all(not m.training for m in model.modules)
+        model.train()
+        assert all(m.training for m in model.modules)
+
+    def test_dropout_eval_is_identity(self, rng):
+        drop = Dropout(0.5, rng)
+        drop.eval()
+        x = Tensor(np.ones((10, 10)))
+        np.testing.assert_allclose(drop(x).data, x.data)
+
+    def test_dropout_train_scales(self, rng):
+        drop = Dropout(0.5, rng)
+        out = drop(Tensor(np.ones((200, 200)))).data
+        # Inverted dropout keeps the expectation at 1.
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+        assert set(np.unique(out)).issubset({0.0, 2.0})
+
+    def test_dropout_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            Dropout(1.0, rng)
+
+    def test_state_dict_roundtrip(self, rng):
+        model = Linear(4, 3, rng)
+        saved = model.state_dict()
+        model.weight.data[...] = 0.0
+        model.load_state_dict(saved)
+        assert model.weight.data.std() > 0
+
+    def test_state_dict_size_mismatch(self, rng):
+        model = Linear(4, 3, rng)
+        with pytest.raises(ValueError):
+            model.load_state_dict({"param_0": np.zeros((4, 3))})
+
+    def test_zero_grad(self, rng):
+        model = Linear(2, 2, rng)
+        model(Tensor(np.ones((1, 2)))).sum().backward()
+        model.zero_grad()
+        assert model.weight.grad is None
+
+    def test_parameters_in_lists_found(self, rng):
+        class Holder(Module):
+            def __init__(self):
+                super().__init__()
+                self.layers = [Linear(2, 2, rng), Linear(2, 2, rng)]
+
+        assert len(list(Holder().parameters())) == 4
+
+    def test_shared_parameter_yielded_once(self, rng):
+        class Shared(Module):
+            def __init__(self):
+                super().__init__()
+                self.a = Parameter(np.zeros(2))
+                self.b = self.a
+
+        assert len(list(Shared().parameters())) == 1
+
+
+class TestOptimisers:
+    def _quadratic_descends(self, make_opt, steps=300):
+        p = Parameter(np.array([5.0, -3.0]))
+        opt = make_opt([p])
+        for _ in range(steps):
+            opt.zero_grad()
+            loss = (p * p).sum()
+            loss.backward()
+            opt.step()
+        return np.abs(p.data).max()
+
+    def test_sgd_converges(self):
+        assert self._quadratic_descends(lambda ps: SGD(ps, lr=0.1)) < 1e-6
+
+    def test_sgd_momentum_converges(self):
+        assert self._quadratic_descends(
+            lambda ps: SGD(ps, lr=0.05, momentum=0.9)) < 1e-6
+
+    def test_adam_converges(self):
+        assert self._quadratic_descends(lambda ps: Adam(ps, lr=0.1)) < 1e-4
+
+    def test_weight_decay_shrinks(self):
+        p = Parameter(np.array([1.0]))
+        opt = SGD([p], lr=0.1, weight_decay=1.0)
+        opt.zero_grad()
+        (p * 0.0).sum().backward()
+        opt.step()
+        assert p.data[0] == pytest.approx(0.9)
+
+    def test_empty_params_rejected(self):
+        with pytest.raises(ValueError):
+            SGD([], lr=0.1)
+
+    def test_negative_lr_rejected(self):
+        with pytest.raises(ValueError):
+            Adam([Parameter(np.zeros(1))], lr=-1.0)
+
+    def test_adam_handles_missing_grad(self):
+        p = Parameter(np.array([1.0]))
+        opt = Adam([p], lr=0.1)
+        opt.step()  # no backward ran; should treat grad as zero
+        assert np.isfinite(p.data).all()
+
+
+class TestLosses:
+    def test_bce_matches_closed_form(self):
+        pred = Tensor(np.array([0.8, 0.2]))
+        target = np.array([1.0, 0.0])
+        loss = F.binary_cross_entropy(pred, target, reduction="sum")
+        expected = -(np.log(0.8) + np.log(0.8))
+        assert loss.item() == pytest.approx(expected, abs=1e-6)
+
+    def test_bce_soft_targets(self):
+        pred = Tensor(np.array([0.5]))
+        loss = F.binary_cross_entropy(pred, np.array([0.5]), reduction="sum")
+        assert loss.item() == pytest.approx(-np.log(0.5), abs=1e-6)
+
+    def test_bce_with_logits_matches_probability_form(self):
+        logits = Tensor(np.array([2.0, -1.0]))
+        target = np.array([1.0, 0.0])
+        a = F.binary_cross_entropy_with_logits(logits, target, reduction="sum")
+        b = F.binary_cross_entropy(logits.sigmoid(), target, reduction="sum")
+        assert a.item() == pytest.approx(b.item(), abs=1e-6)
+
+    def test_weighted_bce_upweights_positives(self):
+        logits = Tensor(np.zeros(2))
+        target = np.array([1.0, 0.0])
+        plain = F.binary_cross_entropy_with_logits(logits, target, "sum").item()
+        weighted = F.weighted_binary_cross_entropy_with_logits(
+            logits, target, pos_weight=3.0, reduction="sum").item()
+        assert weighted > plain
+
+    def test_cross_entropy_perfect_prediction(self):
+        logits = Tensor(np.array([[10.0, -10.0], [-10.0, 10.0]]))
+        loss = F.cross_entropy(logits, np.array([0, 1]))
+        assert loss.item() < 1e-6
+
+    def test_cross_entropy_with_index(self):
+        logits = Tensor(np.array([[10.0, -10.0], [10.0, -10.0]]))
+        labels = np.array([0, 1])
+        loss_all = F.cross_entropy(logits, labels).item()
+        loss_good = F.cross_entropy(logits, labels, index=np.array([0])).item()
+        assert loss_good < loss_all
+
+    def test_mse(self):
+        loss = F.mse_loss(Tensor(np.array([1.0, 2.0])), np.array([0.0, 0.0]),
+                          reduction="sum")
+        assert loss.item() == pytest.approx(5.0)
+
+    def test_unknown_reduction(self):
+        with pytest.raises(ValueError):
+            F.mse_loss(Tensor(np.zeros(2)), np.zeros(2), reduction="bogus")
+
+    def test_gradient_through_cross_entropy(self):
+        logits = Tensor(np.zeros((2, 3)), requires_grad=True)
+        F.cross_entropy(logits, np.array([0, 2])).backward()
+        assert logits.grad is not None
+        np.testing.assert_allclose(logits.grad.sum(), 0.0, atol=1e-12)

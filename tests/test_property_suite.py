@@ -1,0 +1,111 @@
+"""Cross-cutting property-based tests (hypothesis) for the substrates."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import GaussianMixture, kmeans
+from repro.graph import Graph, katz_proximity, high_order_proximity
+from repro.metrics import adjusted_rand_index, normalized_mutual_info
+from repro.outliers import IsolationForest
+
+
+def random_graph(seed: int, n: int = 10, p: float = 0.35) -> Graph:
+    rng = np.random.default_rng(seed)
+    dense = np.triu((rng.random((n, n)) < p).astype(float), 1)
+    dense = dense + dense.T
+    return Graph(adjacency=sp.csr_matrix(dense), features=np.eye(n))
+
+
+class TestKatzProximity:
+    def test_rows_normalised(self):
+        g = random_graph(0)
+        prox = katz_proximity(g.adjacency, beta=0.2, order=4)
+        sums = np.asarray(prox.sum(axis=1)).ravel()
+        positive = sums > 0
+        np.testing.assert_allclose(sums[positive], 1.0, atol=1e-10)
+
+    def test_small_beta_emphasises_direct_edges(self):
+        g = random_graph(1, n=12)
+        tight = katz_proximity(g.adjacency, beta=0.05, order=4).toarray()
+        loose = katz_proximity(g.adjacency, beta=0.8, order=4).toarray()
+        adj = g.adjacency.toarray()
+        direct_mass_tight = (tight * adj).sum() / max(tight.sum(), 1e-12)
+        direct_mass_loose = (loose * adj).sum() / max(loose.sum(), 1e-12)
+        assert direct_mass_tight >= direct_mass_loose - 1e-9
+
+    def test_beta_validation(self):
+        g = random_graph(2)
+        with pytest.raises(ValueError):
+            katz_proximity(g.adjacency, beta=1.5)
+
+    def test_same_support_as_uniform_weights(self):
+        g = random_graph(3)
+        katz = katz_proximity(g.adjacency, beta=0.3, order=3,
+                              self_loops=True)
+        uniform = high_order_proximity(g.adjacency, order=3)
+        assert (katz.toarray() > 0).sum() == (uniform.toarray() > 0).sum()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_kmeans_labels_within_range(seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(30, 3))
+    labels, centroids, inertia = kmeans(points, 4, rng)
+    assert labels.min() >= 0 and labels.max() < 4
+    assert centroids.shape == (4, 3)
+    assert inertia >= 0
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_kmeans_inertia_not_worse_with_more_clusters(seed):
+    rng = np.random.default_rng(seed)
+    points = np.random.default_rng(seed).normal(size=(40, 2))
+    _, _, inertia2 = kmeans(points, 2, np.random.default_rng(0), n_init=3)
+    _, _, inertia8 = kmeans(points, 8, np.random.default_rng(0), n_init=3)
+    assert inertia8 <= inertia2 + 1e-9
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_gmm_responsibilities_valid(seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(25, 2))
+    gmm = GaussianMixture(3, rng, max_iter=10).fit(points)
+    resp = gmm.predict_proba(points)
+    assert np.all(resp >= 0)
+    np.testing.assert_allclose(resp.sum(axis=1), 1.0, atol=1e-9)
+    assert np.all(gmm.variances_ > 0)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000))
+def test_property_isolation_forest_scores_bounded(seed):
+    rng = np.random.default_rng(seed)
+    points = rng.normal(size=(40, 3))
+    scores = IsolationForest(n_estimators=15, seed=seed).fit_score(points)
+    assert np.all((scores > 0) & (scores < 1))
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=5,
+                max_size=40))
+def test_property_ari_nmi_perfect_on_self(labels):
+    labels = np.array(labels)
+    assert adjusted_rand_index(labels, labels) == 1.0
+    assert normalized_mutual_info(labels, labels) == pytest.approx(1.0)
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.integers(min_value=0, max_value=10_000),
+       st.integers(min_value=1, max_value=4))
+def test_property_proximity_idempotent_support(seed, order):
+    """Support of Ã grows monotonically with order."""
+    g = random_graph(seed)
+    lower = high_order_proximity(g.adjacency, order=order).toarray() > 0
+    higher = high_order_proximity(g.adjacency, order=order + 1).toarray() > 0
+    assert np.all(higher[lower])

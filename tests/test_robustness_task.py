@@ -1,0 +1,76 @@
+"""Tests for the reusable robustness protocols."""
+
+import numpy as np
+import pytest
+
+from repro.attacks import DICE, RandomAttack
+from repro.core import AnECI
+from repro.graph import load_dataset
+from repro.tasks import (accuracy_degradation_curve, defense_score_curve,
+                         relative_robustness)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.08, seed=0)
+
+
+@pytest.fixture(scope="module")
+def embed_fn(graph):
+    def fn(g):
+        model = AnECI(g.num_features, num_communities=graph.num_classes,
+                      epochs=40, lr=0.02, seed=0)
+        return model.fit_transform(g)
+    return fn
+
+
+class TestAccuracyDegradation:
+    def test_curve_has_clean_and_attacks(self, graph, embed_fn):
+        curve = accuracy_degradation_curve(
+            embed_fn, graph,
+            [RandomAttack(0.2, seed=0), DICE(0.2, seed=0)])
+        assert "clean" in curve
+        assert len(curve) == 3
+        assert all(0.0 <= v <= 1.0 for v in curve.values())
+
+    def test_labels_carry_perturbation_count(self, graph, embed_fn):
+        curve = accuracy_degradation_curve(embed_fn, graph,
+                                           [RandomAttack(0.2, seed=0)])
+        attack_keys = [k for k in curve if k != "clean"]
+        assert attack_keys[0].startswith("RandomAttack(")
+
+
+class TestDefenseScoreCurve:
+    def test_scores_positive(self, graph, embed_fn):
+        curve = defense_score_curve(embed_fn, graph,
+                                    [RandomAttack(0.3, seed=1)])
+        assert len(curve) == 1
+        assert list(curve.values())[0] > 0
+
+    def test_attack_without_additions_skipped(self, graph, embed_fn):
+        curve = defense_score_curve(embed_fn, graph,
+                                    [RandomAttack(0.0, seed=1)])
+        assert curve == {}
+
+
+class TestRelativeRobustness:
+    def test_unaffected_is_one(self):
+        assert relative_robustness({"clean": 0.9, "a": 0.9}) == 1.0
+
+    def test_half_collapse(self):
+        assert relative_robustness({"clean": 0.8, "a": 0.4}) == pytest.approx(0.5)
+
+    def test_worst_case_selected(self):
+        curve = {"clean": 1.0, "a": 0.9, "b": 0.3}
+        assert relative_robustness(curve) == pytest.approx(0.3)
+
+    def test_no_attacks(self):
+        assert relative_robustness({"clean": 0.7}) == 1.0
+
+    def test_missing_clean(self):
+        with pytest.raises(ValueError):
+            relative_robustness({"a": 0.5})
+
+    def test_zero_clean(self):
+        with pytest.raises(ValueError):
+            relative_robustness({"clean": 0.0, "a": 0.1})

@@ -1,0 +1,128 @@
+"""Tests for subgraph extraction and the SVG chart writer."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (induced_subgraph, k_hop_neighborhood,
+                         k_hop_subgraph, load_dataset, planted_partition)
+from repro.viz import line_chart, save_svg, scatter_chart
+
+
+@pytest.fixture(scope="module")
+def graph():
+    rng = np.random.default_rng(0)
+    return planted_partition(3, 12, 0.5, 0.05, rng, num_features=10)
+
+
+class TestInducedSubgraph:
+    def test_basic(self, graph):
+        nodes = np.arange(10)
+        sub, mapping = induced_subgraph(graph, nodes)
+        assert sub.num_nodes == 10
+        np.testing.assert_array_equal(mapping, nodes)
+        np.testing.assert_array_equal(sub.labels, graph.labels[:10])
+
+    def test_edges_preserved(self, graph):
+        edges = graph.edge_list()
+        u, v = edges[0]
+        sub, mapping = induced_subgraph(graph, [u, v])
+        assert sub.num_edges == 1
+
+    def test_duplicate_nodes_collapsed(self, graph):
+        sub, mapping = induced_subgraph(graph, [3, 3, 5])
+        assert sub.num_nodes == 2
+
+    def test_out_of_range(self, graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(graph, [10_000])
+
+    def test_empty_rejected(self, graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(graph, [])
+
+
+class TestKHop:
+    def test_zero_hops_is_self(self, graph):
+        assert list(k_hop_neighborhood(graph, 5, 0)) == [5]
+
+    def test_one_hop_is_neighbours(self, graph):
+        hood = k_hop_neighborhood(graph, 0, 1)
+        expected = set(graph.adjacency[0].indices) | {0}
+        assert set(hood) == expected
+
+    def test_monotone_in_k(self, graph):
+        sizes = [len(k_hop_neighborhood(graph, 0, k)) for k in range(4)]
+        assert sizes == sorted(sizes)
+
+    def test_subgraph_wrapper(self, graph):
+        sub, mapping = k_hop_subgraph(graph, 0, 1)
+        assert sub.num_nodes == len(mapping)
+        assert 0 in mapping
+
+    def test_validation(self, graph):
+        with pytest.raises(ValueError):
+            k_hop_neighborhood(graph, -1, 1)
+        with pytest.raises(ValueError):
+            k_hop_neighborhood(graph, 0, -1)
+
+
+class TestLineChart:
+    def test_valid_svg_with_series(self):
+        svg = line_chart({"AnECI": ([0, 1, 2], [1.0, 2.0, 3.0]),
+                          "GAE": ([0, 1, 2], [1.0, 1.1, 1.2])},
+                         title="demo", x_label="x", y_label="y")
+        assert svg.startswith("<svg")
+        assert svg.rstrip().endswith("</svg>")
+        assert "AnECI" in svg and "GAE" in svg
+        assert "polyline" in svg
+        assert "demo" in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({})
+
+    def test_mismatched_series_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({"a": ([0, 1], [1.0])})
+
+    def test_constant_series_safe(self):
+        svg = line_chart({"flat": ([0, 1], [1.0, 1.0])})
+        assert "NaN" not in svg and "nan" not in svg
+
+    def test_escapes_markup(self):
+        svg = line_chart({"a<b>&c": ([0, 1], [0, 1])})
+        assert "a&lt;b&gt;&amp;c" in svg
+
+
+class TestScatterChart:
+    def test_coloured_by_labels(self):
+        rng = np.random.default_rng(0)
+        points = rng.normal(size=(30, 2))
+        labels = rng.integers(0, 3, 30)
+        svg = scatter_chart(points, labels, title="tsne")
+        assert svg.count("<circle") == 30
+        assert "class 0" in svg and "class 2" in svg
+
+    def test_default_labels(self):
+        svg = scatter_chart(np.zeros((5, 2)))
+        assert svg.count("<circle") == 5
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            scatter_chart(np.zeros((5, 3)))
+
+    def test_save(self, tmp_path):
+        svg = scatter_chart(np.random.default_rng(0).normal(size=(5, 2)))
+        path = save_svg(svg, tmp_path / "charts" / "demo.svg")
+        assert path.exists()
+        assert path.read_text().startswith("<svg")
+
+
+class TestIntegrationWithTSNE:
+    def test_tsne_scatter_roundtrip(self, tmp_path):
+        from repro.viz import tsne
+        g = load_dataset("cora", scale=0.05, seed=0)
+        coords = tsne(g.features, n_iter=30, seed=0)
+        svg = scatter_chart(coords, g.labels, title="Fig. 8 panel")
+        path = save_svg(svg, tmp_path / "fig8.svg")
+        assert path.stat().st_size > 1000

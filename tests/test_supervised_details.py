@@ -1,0 +1,71 @@
+"""Detailed behavioural tests for the semi-supervised classifiers."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import GATClassifier, GCNClassifier, RGCNClassifier
+from repro.baselines.gcn_supervised import _GATLayer
+from repro.graph import load_dataset
+from repro.nn import Tensor, no_grad
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return load_dataset("cora", scale=0.08, seed=0)
+
+
+class TestGATAttention:
+    def test_attention_rows_are_distributions(self, graph):
+        rng = np.random.default_rng(0)
+        layer = _GATLayer(graph.num_features, 8, rng)
+        dense = graph.adjacency.toarray() + np.eye(graph.num_nodes)
+        mask = np.where(dense > 0, 0.0, -1e9)
+        with no_grad():
+            h = layer.linear(Tensor(graph.features))
+            scores = ((h @ layer.attn_src).reshape(-1, 1)
+                      + (h @ layer.attn_dst).reshape(1, -1)).leaky_relu(0.2)
+            attention = (scores + Tensor(mask)).softmax(axis=-1).data
+        np.testing.assert_allclose(attention.sum(axis=1), 1.0, atol=1e-9)
+        # Mass only on neighbours (masked entries get ~0).
+        assert attention[dense == 0].max() < 1e-6
+
+    def test_gat_output_shape(self, graph):
+        model = GATClassifier(epochs=3, seed=0).fit(graph)
+        assert model.predict().shape == (graph.num_nodes,)
+
+
+class TestValidationSelection:
+    def test_best_val_weights_restored(self, graph):
+        """The returned model must score at least as well on validation as
+        the final-epoch model would by chance — i.e. selection happened."""
+        model = GCNClassifier(epochs=40, seed=0).fit(graph)
+        pred = model.predict()
+        val_acc = np.mean(pred[graph.val_idx] == graph.labels[graph.val_idx])
+        assert val_acc > 0.5
+
+    def test_rgcn_eval_deterministic(self, graph):
+        """RGCN samples during training but must be deterministic in eval."""
+        model = RGCNClassifier(epochs=10, seed=0).fit(graph)
+        a = model.predict()
+        b = model.predict()
+        np.testing.assert_array_equal(a, b)
+
+    def test_training_uses_only_train_labels(self, graph):
+        """Shuffling test labels must not change the trained model."""
+        model_a = GCNClassifier(epochs=10, seed=0).fit(graph)
+        shuffled = graph.labels.copy()
+        rng = np.random.default_rng(0)
+        shuffled[graph.test_idx] = rng.permutation(shuffled[graph.test_idx])
+        # Keep val labels intact (selection uses them), shuffle test only.
+        graph_b = graph.with_labels(shuffled)
+        model_b = GCNClassifier(epochs=10, seed=0).fit(graph_b)
+        np.testing.assert_array_equal(model_a.predict(), model_b.predict())
+
+
+class TestSupervisedUnderAttackInterface:
+    def test_predict_on_denser_graph(self, graph):
+        from repro.attacks import RandomAttack
+        model = GCNClassifier(epochs=10, seed=0).fit(graph)
+        attacked = RandomAttack(0.3, seed=0).attack(graph).graph
+        pred = model.predict(attacked)
+        assert pred.shape == (graph.num_nodes,)

@@ -1,0 +1,120 @@
+"""Tests for the downstream-task protocols."""
+
+import numpy as np
+import pytest
+
+from repro.graph import load_dataset, planted_partition
+from repro.tasks import (LogisticRegression, anomaly_auc,
+                         classification_protocol, communities_from_embedding,
+                         community_detection_report, evaluate_embedding,
+                         isolation_forest_scores)
+
+
+@pytest.fixture(scope="module")
+def small_cora():
+    return load_dataset("cora", scale=0.12, seed=0)
+
+
+class TestLogisticRegression:
+    def test_separable_data(self):
+        rng = np.random.default_rng(0)
+        x = np.vstack([rng.normal(-3, 1, (50, 2)), rng.normal(3, 1, (50, 2))])
+        y = np.repeat([0, 1], 50)
+        clf = LogisticRegression().fit(x, y)
+        assert np.mean(clf.predict(x) == y) > 0.95
+
+    def test_multiclass(self):
+        rng = np.random.default_rng(1)
+        centers = [(-5, 0), (5, 0), (0, 5)]
+        x = np.vstack([rng.normal(c, 0.5, (30, 2)) for c in centers])
+        y = np.repeat([0, 1, 2], 30)
+        clf = LogisticRegression().fit(x, y)
+        assert np.mean(clf.predict(x) == y) > 0.95
+
+    def test_proba_normalised(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(20, 3))
+        y = rng.integers(0, 2, 20)
+        clf = LogisticRegression(epochs=50).fit(x, y)
+        np.testing.assert_allclose(clf.predict_proba(x).sum(axis=1), 1.0,
+                                   atol=1e-9)
+
+    def test_predict_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LogisticRegression().predict(np.zeros((2, 2)))
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            LogisticRegression().fit(np.zeros((3, 2)), np.zeros(4, dtype=int))
+
+
+class TestEvaluateEmbedding:
+    def test_perfect_embedding_scores_high(self, small_cora):
+        g = small_cora
+        onehot = np.eye(g.num_classes)[g.labels]
+        noisy = onehot + np.random.default_rng(0).normal(0, 0.05, onehot.shape)
+        assert evaluate_embedding(noisy, g) > 0.95
+
+    def test_random_embedding_scores_low(self, small_cora):
+        g = small_cora
+        random = np.random.default_rng(0).normal(size=(g.num_nodes, 8))
+        assert evaluate_embedding(random, g) < 0.5
+
+    def test_custom_nodes(self, small_cora):
+        g = small_cora
+        onehot = np.eye(g.num_classes)[g.labels]
+        acc = evaluate_embedding(onehot, g, nodes=g.val_idx)
+        assert acc > 0.95
+
+    def test_requires_split(self, small_cora):
+        from repro.graph import Graph
+        g = small_cora
+        bare = Graph(adjacency=g.adjacency, features=g.features)
+        with pytest.raises(ValueError):
+            evaluate_embedding(np.zeros((g.num_nodes, 2)), bare)
+
+    def test_protocol_averages_rounds(self, small_cora):
+        g = small_cora
+        onehot = np.eye(g.num_classes)[g.labels]
+
+        def embed_fn(seed):
+            rng = np.random.default_rng(seed)
+            return onehot + rng.normal(0, 0.01, onehot.shape)
+
+        mean, std = classification_protocol(embed_fn, g, rounds=3)
+        assert mean > 0.95
+        assert std < 0.05
+
+
+class TestAnomalyTask:
+    def test_auc_of_perfect_scores(self):
+        mask = np.array([0, 0, 1, 1])
+        assert anomaly_auc(mask, np.array([0.0, 0.1, 0.9, 1.0])) == 1.0
+
+    def test_isolation_forest_pipeline(self):
+        rng = np.random.default_rng(0)
+        emb = np.vstack([rng.normal(size=(100, 4)),
+                         rng.normal(6.0, 1.0, size=(8, 4))])
+        mask = np.r_[np.zeros(100), np.ones(8)]
+        scores = isolation_forest_scores(emb, seed=0)
+        assert anomaly_auc(mask, scores) > 0.9
+
+
+class TestCommunityTask:
+    def test_clustering_recovers_planted_partition(self):
+        rng = np.random.default_rng(0)
+        g = planted_partition(3, 25, 0.7, 0.02, rng)
+        onehot = np.eye(3)[g.labels]
+        noisy = onehot + np.random.default_rng(1).normal(0, 0.05, onehot.shape)
+        communities = communities_from_embedding(noisy, 3, seed=0)
+        report = community_detection_report(g, communities)
+        assert report["modularity"] > 0.5
+        assert report["nmi"] > 0.95
+
+    def test_report_without_labels(self):
+        rng = np.random.default_rng(0)
+        g = planted_partition(2, 10, 0.8, 0.05, rng)
+        from repro.graph import Graph
+        bare = Graph(adjacency=g.adjacency, features=g.features)
+        report = community_detection_report(bare, np.zeros(20, dtype=int))
+        assert "nmi" not in report
