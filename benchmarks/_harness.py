@@ -21,8 +21,16 @@ import numpy as np
 
 from repro import baselines as B
 from repro.core import AnECI, AnECIPlus
+from repro.obs import metrics as _metrics, trace as _trace
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Benchmarks always trace: every model fit/denoise/proximity span lands
+#: in this tracer, and :func:`save_results` writes the aggregated tree to
+#: ``results/<name>.timing.json`` alongside the rows (then resets, so
+#: each benchmark gets its own breakdown).
+TRACER = _trace.Tracer()
+_trace.set_tracer(TRACER)
 
 #: Per-dataset benchmark scales (fractions of Table II sizes).
 SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0"))
@@ -108,6 +116,29 @@ def save_results(name: str, payload: dict) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, default=_jsonify)
     print(f"\n[{name}] results written to {path}")
+    save_timing_breakdown(name)
+
+
+def save_timing_breakdown(name: str) -> None:
+    """Flush the harness tracer to ``results/<name>.timing.json``.
+
+    The payload mirrors the BENCH json convention: span tree plus the
+    metrics-registry snapshot (per-order proximity timers, epoch/edge
+    counters) accumulated since the previous benchmark.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    payload = {
+        "name": name,
+        "total_s": TRACER.total_seconds(),
+        "spans": TRACER.to_dict(),
+        "metrics": _metrics.registry().snapshot(),
+    }
+    path = RESULTS_DIR / f"{name}.timing.json"
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, default=_jsonify)
+    TRACER.reset()
+    _metrics.registry().reset()
+    print(f"[{name}] timing breakdown written to {path}")
 
 
 def _jsonify(value):

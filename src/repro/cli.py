@@ -13,12 +13,23 @@ attack
 evaluate
     Run one downstream task (classification / anomaly / community /
     link-prediction) for a method on a dataset and print the metric.
+profile
+    Train a model on a synthetic graph under the op profiler and print
+    the top-k per-op time table plus the traced span tree.
+
+Global observability flags (before the subcommand): ``--trace PATH``
+streams every structured event the run emits to a JSONL file and
+appends the final span tree; ``--profile`` prints the per-op autograd
+table after the command finishes.
 """
 
 from __future__ import annotations
 
 import argparse
+import contextlib
+import json
 import sys
+import time
 
 import numpy as np
 
@@ -29,6 +40,12 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
         description="AnECI reproduction toolkit (ICDE 2022)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="write structured event records (epochs, "
+                             "denoising, restarts, spans) as JSONL")
+    parser.add_argument("--profile", action="store_true",
+                        help="print the per-op autograd profile after "
+                             "the command finishes")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list calibrated benchmark datasets")
@@ -42,7 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     emb.add_argument("--method", default="aneci",
                      help="aneci, aneci+ or a registered baseline name")
     emb.add_argument("--epochs", type=int, default=None)
+    emb.add_argument("--n-init", type=int, default=None,
+                     help="independent restarts (aneci/aneci+ only)")
     emb.add_argument("--out", required=True, help="output .npy path")
+    emb.add_argument("--json", action="store_true",
+                     help="print a structured JSON record instead of text")
 
     att = sub.add_parser("attack", help="poison a dataset, save to .npz")
     _dataset_args(att)
@@ -59,6 +80,19 @@ def build_parser() -> argparse.ArgumentParser:
                     choices=["classification", "anomaly", "community",
                              "link-prediction"])
     ev.add_argument("--epochs", type=int, default=None)
+    ev.add_argument("--json", action="store_true",
+                    help="print a structured JSON record instead of text")
+
+    prof = sub.add_parser(
+        "profile", help="profile a model fit on a synthetic graph")
+    _dataset_args(prof)
+    prof.add_argument("--method", default="aneci",
+                      help="aneci or aneci+ (autograd-op level profile)")
+    prof.add_argument("--epochs", type=int, default=20)
+    prof.add_argument("--top", type=int, default=10,
+                      help="number of ops in the table")
+    prof.add_argument("--json", action="store_true",
+                      help="print the profile as JSON instead of a table")
 
     ex = sub.add_parser(
         "experiment", help="regenerate one of the paper's artefacts")
@@ -83,12 +117,15 @@ def _load(args):
     return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
 
 
-def _build_method(name: str, graph, epochs: int | None, seed: int):
+def _build_method(name: str, graph, epochs: int | None, seed: int,
+                  n_init: int | None = None):
     """Instantiate AnECI, AnECI+ or any registered baseline by name."""
     from . import baselines
     from .core import AnECI, AnECIPlus
     lowered = name.lower()
     extra = {"epochs": epochs} if epochs else {}
+    if n_init and lowered in ("aneci", "aneci+", "aneciplus"):
+        extra["n_init"] = n_init
     if lowered == "aneci":
         return AnECI(graph.num_features, num_communities=graph.num_classes,
                      seed=seed, **extra)
@@ -122,11 +159,23 @@ def cmd_generate(args) -> int:
 
 
 def cmd_embed(args) -> int:
+    from .obs import events
     graph = _load(args)
-    method = _build_method(args.method, graph, args.epochs, args.seed)
+    method = _build_method(args.method, graph, args.epochs, args.seed,
+                           n_init=getattr(args, "n_init", None))
+    start = time.perf_counter()
     embedding = method.fit_transform(graph)
+    elapsed = time.perf_counter() - start
     np.save(args.out, embedding)
-    print(f"wrote {embedding.shape} embedding to {args.out}")
+    record = {"command": "embed", "method": args.method,
+              "dataset": args.dataset, "scale": args.scale,
+              "seed": args.seed, "shape": list(embedding.shape),
+              "out": str(args.out), "elapsed_s": elapsed}
+    events.emit("embed", **record)
+    if getattr(args, "json", False):
+        print(json.dumps(record))
+    else:
+        print(f"wrote {embedding.shape} embedding to {args.out}")
     return 0
 
 
@@ -144,14 +193,16 @@ def cmd_attack(args) -> int:
 
 
 def cmd_evaluate(args) -> int:
+    from .obs import events
     graph = _load(args)
     method = _build_method(args.method, graph, args.epochs, args.seed)
     rng = np.random.default_rng(args.seed)
 
+    start = time.perf_counter()
     if args.task == "classification":
         from .tasks import evaluate_embedding
-        acc = evaluate_embedding(method.fit_transform(graph), graph)
-        print(f"classification accuracy: {acc:.4f}")
+        value = evaluate_embedding(method.fit_transform(graph), graph)
+        metric, text = "accuracy", f"classification accuracy: {value:.4f}"
     elif args.task == "anomaly":
         from .anomalies import seed_outliers
         from .tasks import anomaly_auc, isolation_forest_scores
@@ -163,7 +214,8 @@ def cmd_evaluate(args) -> int:
             else None
         if scores is None:
             scores = isolation_forest_scores(method.embed(), seed=args.seed)
-        print(f"anomaly AUC: {anomaly_auc(mask, scores):.4f}")
+        value = anomaly_auc(mask, scores)
+        metric, text = "auc", f"anomaly AUC: {value:.4f}"
     elif args.task == "community":
         from .core import newman_modularity
         from .tasks import communities_from_embedding
@@ -173,15 +225,61 @@ def cmd_evaluate(args) -> int:
         else:
             communities = communities_from_embedding(
                 method.embed(), graph.num_classes, seed=args.seed)
-        print(f"modularity: "
-              f"{newman_modularity(graph.adjacency, communities):.4f}")
+        value = newman_modularity(graph.adjacency, communities)
+        metric, text = "modularity", f"modularity: {value:.4f}"
     else:  # link-prediction
         from .tasks import link_prediction_auc, link_prediction_split
         train, pos, neg = link_prediction_split(graph, 0.1, rng)
         method = _build_method(args.method, train, args.epochs, args.seed)
         z = method.fit_transform(train)
-        print(f"link-prediction AUC: "
-              f"{link_prediction_auc(z, pos, neg):.4f}")
+        value = link_prediction_auc(z, pos, neg)
+        metric, text = "auc", f"link-prediction AUC: {value:.4f}"
+    elapsed = time.perf_counter() - start
+
+    record = {"command": "evaluate", "task": args.task,
+              "method": args.method, "dataset": args.dataset,
+              "scale": args.scale, "seed": args.seed, "metric": metric,
+              "value": float(value), "elapsed_s": elapsed}
+    events.emit("evaluate", **record)
+    if getattr(args, "json", False):
+        print(json.dumps(record))
+    else:
+        print(text)
+    return 0
+
+
+def cmd_profile(args) -> int:
+    """Fit a model on a synthetic graph under full observability.
+
+    Prints the per-op autograd table and the span tree; the table's
+    total is the profiled share of the traced ``fit`` span (reported as
+    coverage so regressions in un-profiled code stand out).
+    """
+    from .obs import profile as op_profile, trace
+    graph = _load(args)
+    method = _build_method(args.method, graph, args.epochs, args.seed)
+    tracer = trace.Tracer()
+    with trace.activate(tracer), op_profile.profile_ops() as prof:
+        method.fit(graph)
+
+    fit_node = tracer.find("fit")  # aneci+ nests fits under denoise/*
+    fit_s = fit_node.total_s if fit_node is not None else tracer.total_seconds()
+    op_s = prof.total_seconds()
+    coverage = op_s / fit_s if fit_s else 0.0
+    if getattr(args, "json", False):
+        print(json.dumps({"command": "profile", "method": args.method,
+                          "dataset": args.dataset, "scale": args.scale,
+                          "epochs": args.epochs,
+                          "profile": prof.to_dict(),
+                          "spans": tracer.to_dict(),
+                          "fit_s": fit_s, "op_coverage": coverage}))
+        return 0
+    print(f"profiled {args.method} on {graph.name} "
+          f"({graph.num_nodes} nodes, {args.epochs} epochs)\n")
+    print(prof.report(top=args.top))
+    print(f"\ntraced wall time: {fit_s:.4f}s   "
+          f"op coverage: {100.0 * coverage:.1f}%\n")
+    print(tracer.report())
     return 0
 
 
@@ -206,6 +304,40 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+@contextlib.contextmanager
+def _observability(args):
+    """Install the ``--trace`` / ``--profile`` globals for one command.
+
+    ``--trace PATH`` activates a tracer and streams every event-bus
+    record to ``PATH`` as JSONL, appending final ``trace`` (span tree)
+    and ``metrics`` (registry snapshot) records on exit.  ``--profile``
+    wraps the run in an op profiler and prints its table afterwards.
+    """
+    from .obs import events, metrics, profile as op_profile, trace
+    sink = unsubscribe = tracer = profiler = None
+    if getattr(args, "trace", None):
+        sink = events.JsonlSink(args.trace)
+        unsubscribe = events.BUS.subscribe(sink)
+        tracer = trace.Tracer()
+        trace.set_tracer(tracer)
+    if getattr(args, "profile", False) and args.command != "profile":
+        profiler = op_profile.OpProfiler().enable()
+    try:
+        yield
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            print("\nper-op autograd profile:", file=sys.stderr)
+            print(profiler.report(), file=sys.stderr)
+        if sink is not None:
+            trace.set_tracer(None)
+            sink({"kind": "trace", "spans": tracer.to_dict(),
+                  "total_s": tracer.total_seconds()})
+            sink({"kind": "metrics", "values": metrics.registry().snapshot()})
+            unsubscribe()
+            sink.close()
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -215,8 +347,10 @@ def main(argv: list[str] | None = None) -> int:
         "attack": cmd_attack,
         "evaluate": cmd_evaluate,
         "experiment": cmd_experiment,
+        "profile": cmd_profile,
     }[args.command]
-    return handler(args)
+    with _observability(args):
+        return handler(args)
 
 
 if __name__ == "__main__":

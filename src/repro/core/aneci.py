@@ -16,6 +16,7 @@ import numpy as np
 from ..graph.graph import Graph, normalized_adjacency
 from ..graph.proximity import high_order_proximity
 from ..nn import Adam, Tensor, functional as F, no_grad
+from ..obs import events, metrics, trace
 from .config import AnECIConfig
 from .encoder import GCNEncoder
 from .modularity import generalized_modularity_tensor, modularity_loss_terms
@@ -62,12 +63,14 @@ class AnECI:
         """Train on ``graph``; each call restarts from fresh weights.
 
         ``callback(epoch, model, record)`` runs after every epoch, where
-        ``record`` carries the epoch's loss decomposition and rigidity —
-        used by the validation-selection and Fig. 9(b) experiments.
+        ``record`` carries the epoch's loss decomposition, rigidity and
+        the ``restart`` index — used by the validation-selection and
+        Fig. 9(b) experiments.
 
         With ``n_init > 1`` the whole run is repeated from different
         initialisations and the restart with the highest final modularity
-        is kept (the callback only observes the first restart).
+        is kept; the callback observes every restart (distinguishable by
+        the record's ``restart`` key).
         """
         if self.config.n_init > 1:
             return self._fit_with_restarts(graph, callback)
@@ -77,19 +80,31 @@ class AnECI:
         best_state = None
         best_history = None
         best_q = -np.inf
+        best_restart = -1
         for restart in range(self.config.n_init):
-            self._fit_once(graph, callback if restart == 0 else None,
-                           self.config.seed + restart)
+            self._fit_once(graph, callback, self.config.seed + restart,
+                           restart=restart)
             final_q = self.history[-1]["modularity"]
             if final_q > best_q:
                 best_q = final_q
                 best_state = self.encoder.state_dict()
                 best_history = self.history
+                best_restart = restart
+            events.emit("restart", restart=restart, final_modularity=final_q,
+                        epochs_run=len(self.history),
+                        best_so_far=restart == best_restart)
+        metrics.registry().counter("aneci.restarts").inc(self.config.n_init)
         self.encoder.load_state_dict(best_state)
         self.history = best_history
         return self
 
-    def _fit_once(self, graph: Graph, callback, seed: int) -> "AnECI":
+    def _fit_once(self, graph: Graph, callback, seed: int,
+                  restart: int = 0) -> "AnECI":
+        with trace.span("fit"):
+            return self._fit_once_traced(graph, callback, seed, restart)
+
+    def _fit_once_traced(self, graph: Graph, callback, seed: int,
+                         restart: int) -> "AnECI":
         cfg = self.config
         if graph.num_features != self.num_features:
             raise ValueError(
@@ -102,52 +117,59 @@ class AnECI:
         self.history = []
         self._fitted_graph = graph
 
-        adj_norm = normalized_adjacency(graph.adjacency)
-        if cfg.proximity_kind == "katz":
-            from ..graph.proximity import katz_proximity
-            proximity = katz_proximity(graph.adjacency, beta=cfg.katz_beta,
-                                       order=cfg.order, self_loops=True)
-        else:
-            proximity = high_order_proximity(
-                graph.adjacency, order=cfg.order,
-                weights=cfg.proximity_weights)
-        prox, degrees, two_m = modularity_loss_terms(proximity)
-        if cfg.recon_target == "first_order":
-            recon_target = high_order_proximity(graph.adjacency, order=1)
-        else:
-            recon_target = prox
-        features = Tensor(graph.features)
-        optimizer = Adam(self.encoder.parameters(), lr=cfg.lr,
-                         weight_decay=cfg.weight_decay)
+        with trace.span("setup"):
+            adj_norm = normalized_adjacency(graph.adjacency)
+            if cfg.proximity_kind == "katz":
+                from ..graph.proximity import katz_proximity
+                proximity = katz_proximity(graph.adjacency, beta=cfg.katz_beta,
+                                           order=cfg.order, self_loops=True)
+            else:
+                proximity = high_order_proximity(
+                    graph.adjacency, order=cfg.order,
+                    weights=cfg.proximity_weights)
+            prox, degrees, two_m = modularity_loss_terms(proximity)
+            if cfg.recon_target == "first_order":
+                recon_target = high_order_proximity(graph.adjacency, order=1)
+            else:
+                recon_target = prox
+            features = Tensor(graph.features)
+            optimizer = Adam(self.encoder.parameters(), lr=cfg.lr,
+                             weight_decay=cfg.weight_decay)
 
         n = graph.num_nodes
         sample_nodes = cfg.recon_sample_size if n > cfg.recon_sample_size else None
+        epoch_counter = metrics.registry().counter("aneci.epochs")
 
         best_loss = np.inf
         best_state = None
         stall = 0
         for epoch in range(cfg.epochs):
-            self.encoder.train()
-            optimizer.zero_grad()
-            z = self.encoder(features, adj_norm)
-            p = z.softmax(axis=-1)
+            with trace.span("epoch"):
+                self.encoder.train()
+                optimizer.zero_grad()
+                z = self.encoder(features, adj_norm)
+                p = z.softmax(axis=-1)
 
-            q_tilde = generalized_modularity_tensor(p, prox, degrees, two_m)
-            decoder_input = p if cfg.decoder_source == "membership" else z
-            recon = self._reconstruction_loss(decoder_input, recon_target,
-                                              sample_nodes, rng)
-            loss = q_tilde * (-cfg.beta1) + recon * cfg.beta2
-            loss.backward()
-            optimizer.step()
+                q_tilde = generalized_modularity_tensor(p, prox, degrees,
+                                                        two_m)
+                decoder_input = p if cfg.decoder_source == "membership" else z
+                recon = self._reconstruction_loss(decoder_input, recon_target,
+                                                  sample_nodes, rng)
+                loss = q_tilde * (-cfg.beta1) + recon * cfg.beta2
+                loss.backward()
+                optimizer.step()
 
             record = {
                 "epoch": epoch,
+                "restart": restart,
                 "loss": loss.item(),
                 "modularity": q_tilde.item(),
                 "reconstruction": recon.item(),
                 "rigidity": rigidity(p.data),
             }
             self.history.append(record)
+            epoch_counter.inc()
+            events.emit("epoch", model="aneci", **record)
             if callback is not None:
                 callback(epoch, self, record)
 

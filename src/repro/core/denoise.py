@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.graph import Graph
+from ..obs import events, metrics, trace
 from .scores import edge_anomaly_scores
 
 __all__ = ["AnECIPlus", "DenoiseResult", "smoothing_psi"]
@@ -69,29 +70,39 @@ class AnECIPlus:
     # ------------------------------------------------------------------ #
     def fit(self, graph: Graph) -> "AnECIPlus":
         """Run both phases of Algorithm 1 on ``graph``."""
-        self.stage1 = self._factory().fit(graph)
-        embedding = self.stage1.embed(graph)
+        with trace.span("denoise/stage1"):
+            self.stage1 = self._factory().fit(graph)
+            embedding = self.stage1.embed(graph)
 
-        edges = graph.edge_list()
-        scores = edge_anomaly_scores(embedding, edges)
-        # s(e) ∈ [0, 2]; fold into [0, 1] so ψ's β = 0.5 sits mid-range.
-        mean_score = float(np.clip(scores.mean() / 2.0, 0.0, 1.0))
-        drop_ratio = smoothing_psi(mean_score, self.alpha, self.beta, self.gamma)
+        with trace.span("denoise/score"):
+            edges = graph.edge_list()
+            scores = edge_anomaly_scores(embedding, edges)
+            # s(e) ∈ [0, 2]; fold into [0, 1] so ψ's β = 0.5 sits mid-range.
+            mean_score = float(np.clip(scores.mean() / 2.0, 0.0, 1.0))
+            drop_ratio = smoothing_psi(mean_score, self.alpha, self.beta,
+                                       self.gamma)
 
-        num_drop = int(round(drop_ratio * len(edges)))
-        if num_drop > 0:
-            order = np.argsort(scores)[::-1]
-            dropped = edges[order[:num_drop]]
-            denoised = graph.remove_edges(dropped)
-        else:
-            dropped = np.empty((0, 2), dtype=np.int64)
-            denoised = graph
+            num_drop = int(round(drop_ratio * len(edges)))
+            if num_drop > 0:
+                order = np.argsort(scores)[::-1]
+                dropped = edges[order[:num_drop]]
+                denoised = graph.remove_edges(dropped)
+            else:
+                dropped = np.empty((0, 2), dtype=np.int64)
+                denoised = graph
+        registry = metrics.registry()
+        registry.counter("denoise.edges_scored").inc(len(edges))
+        registry.counter("denoise.edges_dropped").inc(num_drop)
+        events.emit("denoise", edges_scored=len(edges),
+                    edges_dropped=num_drop, drop_ratio=drop_ratio,
+                    mean_anomaly_score=mean_score)
         self.denoise_result = DenoiseResult(
             drop_ratio=drop_ratio, num_dropped=num_drop,
             dropped_edges=dropped, mean_anomaly_score=mean_score)
         self._denoised_graph = denoised
 
-        self.stage2 = self._factory().fit(denoised)
+        with trace.span("denoise/stage2"):
+            self.stage2 = self._factory().fit(denoised)
         return self
 
     # ------------------------------------------------------------------ #

@@ -9,6 +9,8 @@ the CLI.
 
 from __future__ import annotations
 
+import functools
+
 import numpy as np
 
 from ..anomalies import seed_outliers
@@ -17,6 +19,7 @@ from ..attacks.surrogate import LinearSurrogate
 from ..core import defense_score, newman_modularity
 from ..graph.graph import Graph
 from ..metrics import accuracy
+from ..obs import events, trace
 from ..tasks import (anomaly_auc, communities_from_embedding,
                      evaluate_embedding, isolation_forest_scores)
 from .base import (ExperimentResult, MethodSpec, aneci_factory,
@@ -34,6 +37,23 @@ __all__ = [
 ]
 
 
+def _observed(fn):
+    """Trace a runner under ``experiment/<fn name>`` and emit a
+    structured completion event built from its :class:`ExperimentResult`."""
+
+    @functools.wraps(fn)
+    def wrapper(*args, **kwargs):
+        with trace.span(f"experiment/{fn.__name__}"):
+            result = fn(*args, **kwargs)
+        events.emit("experiment", name=result.name,
+                    duration_s=result.duration_s,
+                    methods=sorted(result.rows), **result.metadata)
+        return result
+
+    return wrapper
+
+
+@_observed
 def run_node_classification(graph: Graph, rounds: int = 2,
                             fast: bool = True) -> ExperimentResult:
     """Table III protocol on one graph."""
@@ -58,6 +78,7 @@ def run_node_classification(graph: Graph, rounds: int = 2,
                             t.elapsed)
 
 
+@_observed
 def run_defense_curve(graph: Graph, rates=(0.1, 0.3, 0.5),
                       seed: int = 0) -> ExperimentResult:
     """Fig. 2 protocol: defense score vs perturbation rate."""
@@ -84,6 +105,7 @@ def run_defense_curve(graph: Graph, rates=(0.1, 0.3, 0.5),
                             t.elapsed)
 
 
+@_observed
 def run_targeted_attack(graph: Graph, attack: str = "nettack",
                         perturbations=(1, 3, 5), num_targets: int = 6,
                         seed: int = 0) -> ExperimentResult:
@@ -128,6 +150,7 @@ def run_targeted_attack(graph: Graph, attack: str = "nettack",
                              "targets": targets.tolist()}, t.elapsed)
 
 
+@_observed
 def run_random_attack_curve(graph: Graph, rates=(0.0, 0.2, 0.5),
                             seed: int = 0) -> ExperimentResult:
     """Fig. 5 protocol: overall accuracy under random poisoning."""
@@ -160,6 +183,7 @@ def run_random_attack_curve(graph: Graph, rates=(0.0, 0.2, 0.5),
                             t.elapsed)
 
 
+@_observed
 def run_anomaly_detection(graph: Graph, kinds=("structural", "attribute",
                                                "combined", "mix"),
                           fraction: float = 0.05,
@@ -196,6 +220,7 @@ def run_anomaly_detection(graph: Graph, kinds=("structural", "attribute",
                             t.elapsed)
 
 
+@_observed
 def run_community_detection(graph: Graph, seed: int = 0) -> ExperimentResult:
     """Fig. 7 protocol (caller should pass an identity-feature graph)."""
     from .. import baselines as B
@@ -229,6 +254,7 @@ def run_community_detection(graph: Graph, seed: int = 0) -> ExperimentResult:
                             {"graph": graph.name}, t.elapsed)
 
 
+@_observed
 def run_timing(graph: Graph, fast: bool = True,
                seed: int = 0) -> ExperimentResult:
     """Table V protocol: wall-clock fit time per method."""

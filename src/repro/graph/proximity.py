@@ -15,6 +15,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from ..obs import metrics, trace
+
 __all__ = ["high_order_proximity", "katz_proximity", "proximity_statistics",
            "modularity_degree"]
 
@@ -56,12 +58,15 @@ def high_order_proximity(adjacency: sp.spmatrix, order: int = 2,
 
     power = sp.eye(base.shape[0], format="csr")
     total = sp.csr_matrix(base.shape, dtype=np.float64)
-    for w in weights:
-        power = (power @ base).tocsr()
-        if max_entries_per_row is not None:
-            power = _truncate_rows(power, max_entries_per_row)
-        if w:
-            total = total + w * power
+    registry = metrics.registry()
+    for k, w in enumerate(weights, start=1):
+        with trace.span(f"proximity/order{k}"), \
+                registry.timer(f"proximity.order{k}").time():
+            power = (power @ base).tocsr()
+            if max_entries_per_row is not None:
+                power = _truncate_rows(power, max_entries_per_row)
+            if w:
+                total = total + w * power
     return _row_normalize(total.tocsr())
 
 

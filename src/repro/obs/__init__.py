@@ -1,0 +1,37 @@
+"""Structured observability: events, metrics, tracing spans, op profiling.
+
+The subsystem has four layers, all zero-overhead when nothing is
+listening so the library can stay instrumented permanently:
+
+``events``
+    A process-wide event bus.  ``events.emit("epoch", loss=...)`` is a
+    no-op until a sink (e.g. :class:`~repro.obs.events.JsonlSink`)
+    subscribes; training, denoising and the experiment runners emit
+    structured records through it.
+``metrics``
+    A registry of named counters, gauges and monotonic timers with a
+    single ``snapshot()`` for exporting.
+``trace``
+    Hierarchical wall-time spans (``with trace.span("fit"):``) that
+    aggregate into a path-keyed tree with text/JSON reports.
+``profile``
+    An op-level profiler that wraps :mod:`repro.nn.autograd` to
+    attribute forward/backward time and FLOP-ish counts per op kind.
+
+Nothing in this package imports the rest of :mod:`repro`, so any module
+may instrument itself without creating import cycles.
+"""
+
+from . import events, metrics, profile, trace
+from .events import EventBus, JsonlSink, MemorySink, emit
+from .metrics import Counter, Gauge, MetricsRegistry, Timer, registry
+from .profile import OpProfiler, profile_ops
+from .trace import Tracer, span
+
+__all__ = [
+    "events", "metrics", "trace", "profile",
+    "EventBus", "JsonlSink", "MemorySink", "emit",
+    "MetricsRegistry", "Counter", "Gauge", "Timer", "registry",
+    "Tracer", "span",
+    "OpProfiler", "profile_ops",
+]

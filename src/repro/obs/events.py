@@ -1,0 +1,120 @@
+"""A lightweight event bus with pluggable sinks and a JSONL writer.
+
+Instrumented code calls :func:`emit` unconditionally; the call returns
+immediately when no sink is subscribed, so hot loops (per-epoch records,
+per-edge denoising stats) can stay instrumented at all times.  Records
+are plain dicts with a mandatory ``kind`` key; their content is fully
+deterministic — only the optional ``ts`` stamp added by
+:class:`JsonlSink` varies between runs.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, IO
+
+__all__ = ["EventBus", "JsonlSink", "MemorySink", "BUS", "emit"]
+
+Sink = Callable[[dict], None]
+
+
+class EventBus:
+    """Fan-out dispatcher for structured event records."""
+
+    def __init__(self):
+        self._sinks: list[Sink] = []
+
+    @property
+    def enabled(self) -> bool:
+        return bool(self._sinks)
+
+    def subscribe(self, sink: Sink) -> Callable[[], None]:
+        """Attach ``sink`` and return a callable that detaches it."""
+        self._sinks.append(sink)
+
+        def unsubscribe() -> None:
+            if sink in self._sinks:
+                self._sinks.remove(sink)
+
+        return unsubscribe
+
+    def emit(self, kind: str, /, **fields) -> None:
+        """Dispatch ``{"kind": kind, **fields}`` to every sink.
+
+        A no-op (one truthiness check) when nothing is subscribed.
+        """
+        if not self._sinks:
+            return
+        record = {"kind": kind, **fields}
+        for sink in list(self._sinks):
+            sink(record)
+
+
+class MemorySink:
+    """Collects records into ``.records`` — mostly for tests and ``--json``."""
+
+    def __init__(self):
+        self.records: list[dict] = []
+
+    def __call__(self, record: dict) -> None:
+        self.records.append(record)
+
+    def by_kind(self, kind: str) -> list[dict]:
+        return [r for r in self.records if r.get("kind") == kind]
+
+
+class JsonlSink:
+    """Writes one JSON object per line to ``path`` (or an open stream).
+
+    Each record is augmented with a ``ts`` wall-clock stamp unless
+    ``timestamps=False``; everything else is written verbatim, so the
+    file content is deterministic apart from the stamps.  Usable as a
+    context manager; :meth:`close` flushes and closes owned files.
+    """
+
+    def __init__(self, path_or_stream, timestamps: bool = True):
+        if hasattr(path_or_stream, "write"):
+            self._fh: IO[str] = path_or_stream
+            self._owns = False
+        else:
+            self._fh = open(path_or_stream, "w")
+            self._owns = True
+        self.timestamps = timestamps
+        self.count = 0
+
+    def __call__(self, record: dict) -> None:
+        if self.timestamps:
+            record = {"ts": round(time.time(), 6), **record}
+        self._fh.write(json.dumps(record, default=_jsonify) + "\n")
+        self.count += 1
+
+    def close(self) -> None:
+        self._fh.flush()
+        if self._owns:
+            self._fh.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _jsonify(value):
+    """Fallback serialiser for numpy scalars/arrays in event fields."""
+    for attr in ("item",):  # numpy scalars
+        if hasattr(value, attr) and not hasattr(value, "__len__"):
+            return value.item()
+    if hasattr(value, "tolist"):
+        return value.tolist()
+    raise TypeError(f"cannot serialise {type(value)}")
+
+
+#: The process-wide default bus used by all built-in instrumentation.
+BUS = EventBus()
+
+
+def emit(kind: str, /, **fields) -> None:
+    """Emit on the default bus (no-op unless a sink is subscribed)."""
+    BUS.emit(kind, **fields)

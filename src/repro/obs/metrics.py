@@ -1,0 +1,139 @@
+"""Named counters, gauges and monotonic timers in a snapshot-able registry.
+
+The registry is get-or-create: ``registry().counter("denoise.edges_dropped")``
+returns the same :class:`Counter` everywhere, so instrumented modules never
+need to share handles.  ``snapshot()`` flattens everything into a plain dict
+suitable for JSON export or assertion in tests.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "registry"]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only move forward; use a Gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that can move both ways."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def add(self, delta: float) -> None:
+        self.value += float(delta)
+
+
+class Timer:
+    """Accumulates monotonic wall time across any number of intervals."""
+
+    __slots__ = ("name", "total_s", "count", "_started")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total_s = 0.0
+        self.count = 0
+        self._started: float | None = None
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+
+    def stop(self) -> float:
+        if self._started is None:
+            raise RuntimeError(f"timer {self.name!r} was not started")
+        elapsed = time.perf_counter() - self._started
+        self._started = None
+        self.total_s += elapsed
+        self.count += 1
+        return elapsed
+
+    @contextlib.contextmanager
+    def time(self):
+        self.start()
+        try:
+            yield self
+        finally:
+            self.stop()
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Get-or-create home for every metric, with one flat snapshot."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Timer] = {}
+
+    def _get(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}")
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def timer(self, name: str) -> Timer:
+        return self._get(name, Timer)
+
+    def snapshot(self) -> dict[str, float | dict[str, float]]:
+        """Flatten every metric to JSON-ready values.
+
+        Counters/gauges map to their value; timers map to a
+        ``{"total_s", "count", "mean_s"}`` dict.
+        """
+        out: dict[str, float | dict[str, float]] = {}
+        for name, metric in sorted(self._metrics.items()):
+            if isinstance(metric, Timer):
+                out[name] = {"total_s": metric.total_s, "count": metric.count,
+                             "mean_s": metric.mean_s}
+            else:
+                out[name] = metric.value
+        return out
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry."""
+    return _REGISTRY

@@ -1,0 +1,198 @@
+"""Hierarchical wall-time tracing spans with aggregated reports.
+
+Instrumented code opens spans relative to whatever span is already on
+the stack::
+
+    with trace.span("fit"):
+        for _ in range(epochs):
+            with trace.span("epoch"):      # aggregates under fit/epoch
+                ...
+
+A span name may itself contain ``/`` (``trace.span("fit/epoch")``
+opens two nested levels at once).  Repeated entries into the same path
+accumulate wall time and a call count, so a 150-epoch loop produces one
+``fit/epoch`` node with ``count == 150``, not 150 nodes.
+
+Module-level :func:`span` is a no-op (a shared, stateless context
+manager) until a :class:`Tracer` is activated with :func:`set_tracer`,
+so permanent instrumentation costs one global read when disabled.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import time
+
+__all__ = ["SpanNode", "Tracer", "span", "set_tracer", "get_tracer",
+           "activate"]
+
+
+class SpanNode:
+    """Aggregated statistics for one span path."""
+
+    __slots__ = ("name", "total_s", "count", "children")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.total_s = 0.0
+        self.count = 0
+        self.children: dict[str, "SpanNode"] = {}
+
+    def child(self, name: str) -> "SpanNode":
+        node = self.children.get(name)
+        if node is None:
+            node = self.children[name] = SpanNode(name)
+        return node
+
+    def to_dict(self) -> dict:
+        out: dict = {"total_s": self.total_s, "count": self.count}
+        if self.children:
+            out["children"] = {name: node.to_dict()
+                               for name, node in self.children.items()}
+        return out
+
+    def self_s(self) -> float:
+        """Time not attributed to any child span."""
+        return self.total_s - sum(c.total_s for c in self.children.values())
+
+
+class _Span:
+    """Context manager measuring one entry into a (possibly nested) path."""
+
+    __slots__ = ("_tracer", "_segments", "_start")
+
+    def __init__(self, tracer: "Tracer", segments: list[str]):
+        self._tracer = tracer
+        self._segments = segments
+        self._start = 0.0
+
+    def __enter__(self) -> "_Span":
+        stack = self._tracer._stack
+        node = stack[-1]
+        for segment in self._segments:
+            node = node.child(segment)
+            stack.append(node)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        elapsed = time.perf_counter() - self._start
+        stack = self._tracer._stack
+        # Every level opened by this span was entered and timed together.
+        for _ in self._segments:
+            node = stack.pop()
+            node.count += 1
+            node.total_s += elapsed
+
+
+class _NoopSpan:
+    """Shared do-nothing span used when tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+class Tracer:
+    """Collects spans into an aggregated tree rooted at an unnamed node."""
+
+    def __init__(self):
+        self._root = SpanNode("")
+        self._stack: list[SpanNode] = [self._root]
+
+    # -- recording ------------------------------------------------------ #
+    def span(self, name: str) -> _Span:
+        return _Span(self, name.split("/"))
+
+    def reset(self) -> None:
+        self._root = SpanNode("")
+        self._stack = [self._root]
+
+    # -- inspection ----------------------------------------------------- #
+    @property
+    def root(self) -> SpanNode:
+        return self._root
+
+    def find(self, path: str) -> SpanNode | None:
+        """Return the node at ``"a/b/c"``, or ``None``."""
+        node = self._root
+        for segment in path.split("/"):
+            node = node.children.get(segment)
+            if node is None:
+                return None
+        return node
+
+    def total_seconds(self) -> float:
+        """Wall time across all top-level spans."""
+        return sum(c.total_s for c in self._root.children.values())
+
+    def to_dict(self) -> dict:
+        """JSON-ready nested mapping of every span path."""
+        return {name: node.to_dict()
+                for name, node in self._root.children.items()}
+
+    def report(self, min_fraction: float = 0.0) -> str:
+        """Indented text table: span, count, total, self-time, % of run.
+
+        ``min_fraction`` hides spans below that share of the run total.
+        """
+        total = self.total_seconds() or 1.0
+        lines = [f"{'span':40s} {'count':>7s} {'total_s':>10s} "
+                 f"{'self_s':>10s} {'%':>6s}"]
+
+        def walk(node: SpanNode, depth: int) -> None:
+            for name, child in child_order(node):
+                if child.total_s / total < min_fraction:
+                    continue
+                label = "  " * depth + name
+                lines.append(
+                    f"{label:40s} {child.count:>7d} {child.total_s:>10.4f} "
+                    f"{child.self_s():>10.4f} "
+                    f"{100.0 * child.total_s / total:>5.1f}%")
+                walk(child, depth + 1)
+
+        def child_order(node: SpanNode):
+            return sorted(node.children.items(),
+                          key=lambda kv: -kv[1].total_s)
+
+        walk(self._root, 0)
+        return "\n".join(lines)
+
+
+_ACTIVE: Tracer | None = None
+
+
+def set_tracer(tracer: Tracer | None) -> None:
+    """Install (or clear, with ``None``) the process-wide tracer."""
+    global _ACTIVE
+    _ACTIVE = tracer
+
+
+def get_tracer() -> Tracer | None:
+    return _ACTIVE
+
+
+@contextlib.contextmanager
+def activate(tracer: Tracer):
+    """Temporarily install ``tracer``, restoring the previous one after."""
+    previous = _ACTIVE
+    set_tracer(tracer)
+    try:
+        yield tracer
+    finally:
+        set_tracer(previous)
+
+
+def span(name: str):
+    """Open a span on the active tracer; a shared no-op when disabled."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NOOP
+    return tracer.span(name)

@@ -1,0 +1,136 @@
+"""CLI observability surface: --trace, --profile, --json, repro profile."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.obs import events, trace
+
+
+@pytest.fixture(autouse=True)
+def _clean_globals():
+    """The CLI installs process-wide tracer/sinks; verify it cleans up."""
+    yield
+    assert trace.get_tracer() is None
+    assert not events.BUS.enabled
+
+
+class TestJsonOutput:
+    def test_evaluate_json(self, capsys):
+        assert main(["evaluate", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci", "--epochs", "5",
+                     "--task", "classification", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["command"] == "evaluate"
+        assert record["task"] == "classification"
+        assert record["metric"] == "accuracy"
+        assert 0.0 <= record["value"] <= 1.0
+        assert record["elapsed_s"] > 0
+
+    def test_evaluate_community_json(self, capsys):
+        assert main(["evaluate", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci", "--epochs", "5",
+                     "--task", "community", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["metric"] == "modularity"
+
+    def test_embed_json(self, tmp_path, capsys):
+        out = tmp_path / "z.npy"
+        assert main(["embed", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci", "--epochs", "5", "--json",
+                     "--out", str(out)]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["command"] == "embed"
+        assert record["shape"] == list(np.load(out).shape)
+
+
+class TestTraceFlag:
+    def test_trace_writes_epoch_denoise_restart_events(self, tmp_path,
+                                                       capsys):
+        path = tmp_path / "run.jsonl"
+        out = tmp_path / "z.npy"
+        assert main(["--trace", str(path), "embed", "--dataset", "cora",
+                     "--scale", "0.05", "--method", "aneci+",
+                     "--epochs", "4", "--n-init", "2",
+                     "--out", str(out)]) == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        kinds = {r["kind"] for r in records}
+        assert {"epoch", "denoise", "restart", "embed",
+                "trace", "metrics"} <= kinds
+        epochs = [r for r in records if r["kind"] == "epoch"]
+        assert {r["restart"] for r in epochs} == {0, 1}
+        # 2 stages x 2 restarts x 4 epochs
+        assert len(epochs) == 16
+        (tree,) = [r for r in records if r["kind"] == "trace"]
+        assert "denoise" in tree["spans"]
+        assert tree["total_s"] > 0
+
+    def test_trace_with_plain_aneci(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        out = tmp_path / "z.npy"
+        assert main(["--trace", str(path), "embed", "--dataset", "cora",
+                     "--scale", "0.05", "--method", "aneci",
+                     "--epochs", "3", "--out", str(out)]) == 0
+        records = [json.loads(line)
+                   for line in path.read_text().splitlines()]
+        (tree,) = [r for r in records if r["kind"] == "trace"]
+        assert tree["spans"]["fit"]["children"]["epoch"]["count"] == 3
+
+
+class TestProfileCommand:
+    def test_table_and_coverage(self, capsys):
+        assert main(["profile", "--dataset", "cora", "--scale", "0.05",
+                     "--epochs", "5", "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "op" in out and "TOTAL" in out
+        assert "matmul" in out or "spmm" in out
+        assert "op coverage" in out
+        assert "fit" in out  # span tree is printed too
+
+    def test_json_coverage_within_tolerance(self, capsys):
+        # The default profile scale (0.25) keeps autograd ops dominant:
+        # coverage sits around 0.94 there.  The bound is slacker than
+        # the ~10% target so machine load can't flake the test.
+        assert main(["profile", "--dataset", "cora", "--scale", "0.25",
+                     "--epochs", "12", "--json"]) == 0
+        record = json.loads(capsys.readouterr().out)
+        assert record["command"] == "profile"
+        ops = {o["op"] for o in record["profile"]["ops"]}
+        assert "matmul" in ops
+        # The per-op total must explain the traced fit span.
+        assert record["op_coverage"] == pytest.approx(
+            record["profile"]["total_s"] / record["fit_s"])
+        assert record["op_coverage"] > 0.8
+
+    def test_profile_flag_on_evaluate(self, capsys):
+        assert main(["--profile", "evaluate", "--dataset", "cora",
+                     "--scale", "0.05", "--method", "aneci",
+                     "--epochs", "5", "--task", "community"]) == 0
+        captured = capsys.readouterr()
+        assert "modularity" in captured.out
+        assert "per-op autograd profile" in captured.err
+        # profiler restored the engine
+        from repro.nn import autograd
+        import repro.nn.layers as layers
+        assert layers.spmm is autograd.spmm
+
+    def test_profile_aneci_plus(self, capsys):
+        assert main(["profile", "--dataset", "cora", "--scale", "0.05",
+                     "--method", "aneci+", "--epochs", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "denoise" in out
+
+
+class TestDeterminism:
+    def test_embed_identical_with_and_without_trace(self, tmp_path):
+        plain = tmp_path / "plain.npy"
+        traced = tmp_path / "traced.npy"
+        args = ["embed", "--dataset", "cora", "--scale", "0.05",
+                "--method", "aneci", "--epochs", "5"]
+        assert main(args + ["--out", str(plain)]) == 0
+        assert main(["--trace", str(tmp_path / "t.jsonl"), "--profile"]
+                    + args + ["--out", str(traced)]) == 0
+        np.testing.assert_array_equal(np.load(plain), np.load(traced))
