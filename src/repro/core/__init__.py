@@ -9,12 +9,16 @@ from .modularity import (generalized_modularity_tensor, modularity_loss_terms,
 from .scores import (community_anomaly_scores, community_attribute_scores,
                      defense_score, edge_anomaly_scores,
                      membership_entropy_scores, rigidity)
+from .workspace import (FitWorkspace, WorkspaceCache, fit_fingerprint,
+                        get_workspace, workspace_cache)
 
 __all__ = [
     "AnECI", "AnECIPlus", "AnECIConfig", "TASK_EPOCHS",
     "GCNEncoder", "DenoiseResult", "smoothing_psi",
     "newman_modularity", "soft_modularity", "modularity_loss_terms",
     "generalized_modularity_tensor",
+    "FitWorkspace", "WorkspaceCache", "get_workspace", "workspace_cache",
+    "fit_fingerprint",
     "defense_score", "edge_anomaly_scores", "rigidity",
     "membership_entropy_scores", "community_attribute_scores",
     "community_anomaly_scores",

@@ -14,14 +14,14 @@ from __future__ import annotations
 import numpy as np
 
 from ..graph.graph import Graph, normalized_adjacency
-from ..graph.proximity import high_order_proximity
 from ..nn import Adam, Tensor, functional as F, no_grad
 from ..obs import events, metrics, trace
 from .config import AnECIConfig
 from .encoder import GCNEncoder
-from .modularity import generalized_modularity_tensor, modularity_loss_terms
+from .modularity import generalized_modularity_tensor
 from .scores import (community_anomaly_scores, membership_entropy_scores,
                      rigidity)
+from .workspace import FitWorkspace, get_workspace
 
 __all__ = ["AnECI", "AnECIPlus"]
 
@@ -55,6 +55,10 @@ class AnECI:
         self.encoder: GCNEncoder | None = None
         self.history: list[dict[str, float]] = []
         self._fitted_graph: Graph | None = None
+        #: Modularity of the state the encoder actually holds after a fit
+        #: (the restored-best record under early stopping, the final
+        #: record otherwise) — what restart selection ranks by.
+        self.selection_modularity: float = -np.inf
 
     # ------------------------------------------------------------------ #
     # Training                                                            #
@@ -84,7 +88,10 @@ class AnECI:
         for restart in range(self.config.n_init):
             self._fit_once(graph, callback, self.config.seed + restart,
                            restart=restart)
-            final_q = self.history[-1]["modularity"]
+            # Rank by the modularity of the weights the restart actually
+            # kept: under early stopping that is the restored-best state,
+            # not the last epoch before patience ran out.
+            final_q = self.selection_modularity
             if final_q > best_q:
                 best_q = final_q
                 best_state = self.encoder.state_dict()
@@ -96,6 +103,7 @@ class AnECI:
         metrics.registry().counter("aneci.restarts").inc(self.config.n_init)
         self.encoder.load_state_dict(best_state)
         self.history = best_history
+        self.selection_modularity = best_q
         return self
 
     def _fit_once(self, graph: Graph, callback, seed: int,
@@ -118,43 +126,33 @@ class AnECI:
         self._fitted_graph = graph
 
         with trace.span("setup"):
-            adj_norm = normalized_adjacency(graph.adjacency)
-            if cfg.proximity_kind == "katz":
-                from ..graph.proximity import katz_proximity
-                proximity = katz_proximity(graph.adjacency, beta=cfg.katz_beta,
-                                           order=cfg.order, self_loops=True)
-            else:
-                proximity = high_order_proximity(
-                    graph.adjacency, order=cfg.order,
-                    weights=cfg.proximity_weights)
-            prox, degrees, two_m = modularity_loss_terms(proximity)
-            if cfg.recon_target == "first_order":
-                recon_target = high_order_proximity(graph.adjacency, order=1)
-            else:
-                recon_target = prox
+            # Every epoch-invariant constant (normalised adjacency,
+            # proximity, modularity terms, densified recon target) comes
+            # from the content-addressed workspace cache, so restarts and
+            # unchanged-graph refits skip the whole rebuild.
+            workspace = get_workspace(graph, cfg)
             features = Tensor(graph.features)
             optimizer = Adam(self.encoder.parameters(), lr=cfg.lr,
                              weight_decay=cfg.weight_decay)
 
-        n = graph.num_nodes
-        sample_nodes = cfg.recon_sample_size if n > cfg.recon_sample_size else None
         epoch_counter = metrics.registry().counter("aneci.epochs")
 
         best_loss = np.inf
         best_state = None
+        best_q = -np.inf
         stall = 0
         for epoch in range(cfg.epochs):
             with trace.span("epoch"):
                 self.encoder.train()
                 optimizer.zero_grad()
-                z = self.encoder(features, adj_norm)
+                z = self.encoder(features, workspace.adj_norm)
                 p = z.softmax(axis=-1)
 
-                q_tilde = generalized_modularity_tensor(p, prox, degrees,
-                                                        two_m)
+                q_tilde = generalized_modularity_tensor(
+                    p, workspace.prox, workspace.degrees, workspace.two_m)
                 decoder_input = p if cfg.decoder_source == "membership" else z
-                recon = self._reconstruction_loss(decoder_input, recon_target,
-                                                  sample_nodes, rng)
+                recon = self._reconstruction_loss(decoder_input, workspace,
+                                                  rng)
                 loss = q_tilde * (-cfg.beta1) + recon * cfg.beta2
                 loss.backward()
                 optimizer.step()
@@ -179,6 +177,7 @@ class AnECI:
                 if modularity_loss < best_loss - 1e-6:
                     best_loss = modularity_loss
                     best_state = self.encoder.state_dict()
+                    best_q = record["modularity"]
                     stall = 0
                 else:
                     stall += 1
@@ -186,9 +185,12 @@ class AnECI:
                         break
         if cfg.patience is not None and best_state is not None:
             self.encoder.load_state_dict(best_state)
+            self.selection_modularity = best_q
+        else:
+            self.selection_modularity = self.history[-1]["modularity"]
         return self
 
-    def _reconstruction_loss(self, p: Tensor, prox, sample_nodes: int | None,
+    def _reconstruction_loss(self, p: Tensor, workspace: FitWorkspace,
                              rng: np.random.Generator) -> Tensor:
         """High-order reconstruction ``L_R`` (Eq. 17) on ``Â = σ(PPᵀ)``.
 
@@ -197,16 +199,16 @@ class AnECI:
         keep their balancing role across graph sizes.  For large graphs a
         random node block is reconstructed per epoch (same mean scale).
         """
-        if sample_nodes is None:
+        if workspace.sample_nodes is None:
             logits = p @ p.T
-            target = prox.toarray()
-            return F.binary_cross_entropy_with_logits(logits, target, "mean")
-        n = p.shape[0]
-        idx = rng.choice(n, size=sample_nodes, replace=False)
+            return F.binary_cross_entropy_with_logits(
+                logits, workspace.dense_target(), "mean")
+        idx = rng.choice(p.shape[0], size=workspace.sample_nodes,
+                         replace=False)
         block = p[idx]
         logits = block @ block.T
-        target = prox[idx][:, idx].toarray()
-        return F.binary_cross_entropy_with_logits(logits, target, "mean")
+        return F.binary_cross_entropy_with_logits(
+            logits, workspace.target_block(idx), "mean")
 
     # ------------------------------------------------------------------ #
     # Inference                                                           #

@@ -1,0 +1,234 @@
+"""Content-addressed cache of the epoch-invariant AnECI fit constants.
+
+Every AnECI fit starts by rebuilding the same set of constants: the
+GCN-normalised adjacency, the high-order proximity ``Ã``, the modularity
+terms ``(Ã, k̃, 2M̃)`` and the densified reconstruction target.  All of it
+depends only on the graph structure plus a handful of config knobs — not
+on the seed — so ``n_init`` restarts, AnECI+ stage 2 on an unchanged
+graph, and repeated experiment fits redo identical O(N²)/sparse-power
+work.  :class:`FitWorkspace` bundles those constants and
+:class:`WorkspaceCache` keys them by a fingerprint over the CSR arrays
+(``indptr``/``indices``/``data``) and the relevant knobs, so any
+structural mutation — attack edges, denoising drops — is a guaranteed
+cache miss while bit-identical graphs hit.
+
+Cache traffic is observable through the ``workspace.hits`` /
+``workspace.misses`` / ``workspace.evictions`` counters in
+:func:`repro.obs.metrics.registry` and a ``workspace`` event per build.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import hashlib
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from ..graph.graph import Graph, normalized_adjacency
+from ..graph.proximity import high_order_proximity, katz_proximity
+from ..nn.autograd import cached_transpose
+from ..obs import events, metrics, trace
+from .config import AnECIConfig
+from .modularity import modularity_loss_terms
+
+__all__ = [
+    "FitWorkspace", "WorkspaceCache", "get_workspace", "workspace_cache",
+    "cache_disabled", "fit_fingerprint",
+]
+
+#: Densify the reconstruction target eagerly only below this node count;
+#: above it the sampled path gathers blocks from the sparse matrix.  At
+#: the default cap a dense target tops out at ~128 MB of float64.
+_DENSE_GATHER_CAP = int(os.environ.get("REPRO_WORKSPACE_DENSE_CAP", "4096"))
+
+#: Upper bound on cached workspaces (each can hold a dense N×N target).
+_DEFAULT_MAXSIZE = int(os.environ.get("REPRO_WORKSPACE_CACHE_SIZE", "4"))
+
+_CACHE_ENABLED = True
+
+
+def fit_fingerprint(adjacency: sp.csr_matrix, knobs: tuple) -> str:
+    """Digest of the exact CSR arrays plus the proximity/target knobs."""
+    digest = hashlib.blake2b(digest_size=16)
+    digest.update(repr(knobs).encode())
+    digest.update(repr(adjacency.shape).encode())
+    digest.update(adjacency.indptr.tobytes())
+    digest.update(adjacency.indices.tobytes())
+    digest.update(adjacency.data.tobytes())
+    return digest.hexdigest()
+
+
+def _config_knobs(config: AnECIConfig) -> tuple:
+    """The config fields the workspace constants depend on."""
+    weights = config.proximity_weights
+    return (config.proximity_kind, config.order,
+            None if weights is None else tuple(weights),
+            config.katz_beta, config.recon_target, config.recon_sample_size)
+
+
+@dataclass
+class FitWorkspace:
+    """Epoch-invariant constants shared by every restart of one fit.
+
+    Attributes
+    ----------
+    fingerprint:
+        Content address this workspace was cached under.
+    adj_norm:
+        GCN-normalised adjacency; its CSR transpose is pre-registered in
+        the :func:`repro.nn.spmm` transpose cache.
+    proximity / prox / degrees / two_m:
+        High-order proximity ``Ã`` and the modularity terms ``(Ã, k̃, 2M̃)``.
+    recon_target:
+        Sparse reconstruction target (``Ã`` or the first-order variant).
+    sample_nodes:
+        Per-epoch sample size, or ``None`` when the full ``N×N`` target
+        is reconstructed.
+    recon_dense:
+        Densified ``recon_target`` when affordable (always for the full
+        path, below ``REPRO_WORKSPACE_DENSE_CAP`` nodes for the sampled
+        path); ``None`` means blocks are gathered from the sparse form.
+    """
+
+    fingerprint: str
+    num_nodes: int
+    adj_norm: sp.csr_matrix
+    proximity: sp.csr_matrix
+    prox: sp.csr_matrix
+    degrees: np.ndarray
+    two_m: float
+    recon_target: sp.csr_matrix
+    sample_nodes: int | None
+    recon_dense: np.ndarray | None
+
+    def dense_target(self) -> np.ndarray:
+        """The full dense reconstruction target (full-graph path only)."""
+        if self.recon_dense is None:
+            raise RuntimeError("workspace holds no dense target; use "
+                               "target_block() on the sampled path")
+        return self.recon_dense
+
+    def target_block(self, idx: np.ndarray) -> np.ndarray:
+        """Dense ``idx × idx`` block of the reconstruction target.
+
+        Uses the precomputed dense form when available — a fancy-indexed
+        gather instead of the double sparse slice-and-densify the
+        training loop used to run every epoch.
+        """
+        if self.recon_dense is not None:
+            return self.recon_dense[np.ix_(idx, idx)]
+        return self.recon_target[idx][:, idx].toarray()
+
+
+def build_workspace(graph: Graph, config: AnECIConfig,
+                    fingerprint: str = "") -> FitWorkspace:
+    """Compute every epoch-invariant constant for ``(graph, config)``."""
+    with trace.span("workspace/build"):
+        adj_norm = normalized_adjacency(graph.adjacency)
+        cached_transpose(adj_norm)  # pre-warm the spmm backward transpose
+        if config.proximity_kind == "katz":
+            proximity = katz_proximity(graph.adjacency, beta=config.katz_beta,
+                                       order=config.order, self_loops=True)
+        else:
+            proximity = high_order_proximity(graph.adjacency,
+                                             order=config.order,
+                                             weights=config.proximity_weights)
+        prox, degrees, two_m = modularity_loss_terms(proximity)
+        cached_transpose(prox)
+        if config.recon_target == "first_order":
+            recon_target = high_order_proximity(graph.adjacency, order=1)
+        else:
+            recon_target = prox
+        n = graph.num_nodes
+        sample_nodes = (config.recon_sample_size
+                        if n > config.recon_sample_size else None)
+        if sample_nodes is None or n <= _DENSE_GATHER_CAP:
+            recon_dense = recon_target.toarray()
+        else:
+            recon_dense = None
+        return FitWorkspace(
+            fingerprint=fingerprint, num_nodes=n, adj_norm=adj_norm,
+            proximity=proximity, prox=prox, degrees=degrees, two_m=two_m,
+            recon_target=recon_target, sample_nodes=sample_nodes,
+            recon_dense=recon_dense)
+
+
+class WorkspaceCache:
+    """Bounded LRU of :class:`FitWorkspace` keyed by content fingerprint."""
+
+    def __init__(self, maxsize: int | None = None):
+        self.maxsize = _DEFAULT_MAXSIZE if maxsize is None else int(maxsize)
+        if self.maxsize < 1:
+            raise ValueError("cache needs room for at least one workspace")
+        self._entries: OrderedDict[str, FitWorkspace] = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get(self, graph: Graph, config: AnECIConfig) -> FitWorkspace:
+        """Return the cached workspace for ``(graph, config)``, building on miss."""
+        registry = metrics.registry()
+        fingerprint = fit_fingerprint(graph.adjacency, _config_knobs(config))
+        with self._lock:
+            entry = self._entries.get(fingerprint)
+            if entry is not None:
+                self._entries.move_to_end(fingerprint)
+                registry.counter("workspace.hits").inc()
+                return entry
+        registry.counter("workspace.misses").inc()
+        entry = build_workspace(graph, config, fingerprint)
+        with self._lock:
+            self._entries[fingerprint] = entry
+            self._entries.move_to_end(fingerprint)
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+                registry.counter("workspace.evictions").inc()
+        events.emit("workspace", fingerprint=fingerprint,
+                    nodes=graph.num_nodes, sample_nodes=entry.sample_nodes,
+                    dense_target=entry.recon_dense is not None)
+        return entry
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._entries
+
+
+_CACHE = WorkspaceCache()
+
+
+def workspace_cache() -> WorkspaceCache:
+    """The process-wide workspace cache."""
+    return _CACHE
+
+
+def get_workspace(graph: Graph, config: AnECIConfig) -> FitWorkspace:
+    """Fetch (or build) the fit workspace through the process-wide cache.
+
+    Inside :func:`cache_disabled` the workspace is rebuilt from scratch
+    on every call — the pre-cache behaviour, kept for benchmarks and
+    equivalence tests.
+    """
+    if not _CACHE_ENABLED:
+        return build_workspace(graph, config)
+    return _CACHE.get(graph, config)
+
+
+@contextlib.contextmanager
+def cache_disabled():
+    """Bypass the workspace cache (rebuild per fit) within the block."""
+    global _CACHE_ENABLED
+    previous = _CACHE_ENABLED
+    _CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _CACHE_ENABLED = previous

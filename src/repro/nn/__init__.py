@@ -5,7 +5,8 @@ models on top of this package; nothing here is specific to the AnECI paper.
 """
 
 from . import functional, init
-from .autograd import Tensor, concat, no_grad, spmm, tensor
+from .autograd import (Tensor, cached_transpose, concat, fused_bce_with_logits,
+                       no_grad, spmm, tensor)
 from .layers import (Bilinear, Dropout, GCNConv, Linear, Module, Parameter,
                      Sequential)
 from .optim import SGD, Adam, Optimizer
@@ -13,6 +14,7 @@ from .schedulers import CosineAnnealingLR, LinearWarmup, Scheduler, StepLR
 
 __all__ = [
     "Tensor", "tensor", "no_grad", "spmm", "concat",
+    "fused_bce_with_logits", "cached_transpose",
     "Module", "Parameter", "Linear", "GCNConv", "Dropout", "Sequential",
     "Bilinear",
     "Optimizer", "SGD", "Adam",

@@ -20,14 +20,38 @@ Design notes
 from __future__ import annotations
 
 import contextlib
+import weakref
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "spmm"]
+__all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "spmm",
+           "fused_bce_with_logits", "cached_transpose",
+           "transpose_cache_size", "clear_transpose_cache",
+           "transpose_cache_disabled", "legacy_graph_cycles"]
 
 _GRAD_ENABLED = True
+
+#: See :func:`legacy_graph_cycles`.
+_LEGACY_CYCLES = False
+
+
+@contextlib.contextmanager
+def legacy_graph_cycles():
+    """Rebuild graph nodes with the pre-overhaul reference cycles.
+
+    Benchmark-only: lets the perf suite time the historical engine
+    behaviour (graphs reclaimed by the cyclic GC instead of by refcount)
+    without reverting the engine.  Values and gradients are unaffected.
+    """
+    global _LEGACY_CYCLES
+    previous = _LEGACY_CYCLES
+    _LEGACY_CYCLES = True
+    try:
+        yield
+    finally:
+        _LEGACY_CYCLES = previous
 
 
 @contextlib.contextmanager
@@ -87,7 +111,7 @@ class Tensor:
         self.data = _as_array(data)
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
-        self._backward: Callable[[], None] | None = None
+        self._backward: Callable[[np.ndarray], None] | None = None
         self._parents: tuple[Tensor, ...] = ()
 
     # ------------------------------------------------------------------ #
@@ -136,17 +160,23 @@ class Tensor:
         """Create a result tensor wired into the graph if recording is on.
 
         ``backward`` receives the upstream gradient and is responsible for
-        accumulating into each parent's ``grad``.
+        accumulating into each parent's ``grad``.  It is stored as-is —
+        it must never close over the result tensor, so graph nodes carry
+        no reference cycles and whole epoch graphs die by refcount the
+        moment the loss goes out of scope instead of lingering for the
+        cyclic collector (a large, allocation-churn win on N×N graphs).
         """
         requires = _GRAD_ENABLED and any(p.requires_grad for p in parents)
         out = Tensor(data, requires_grad=requires)
         if requires:
             out._parents = tuple(parents)
-
-            def _run():
-                backward(out.grad)
-
-            out._backward = _run
+            if _LEGACY_CYCLES:
+                # Pre-overhaul behaviour: the stored closure referenced the
+                # result tensor, so every node sat in a reference cycle and
+                # epoch graphs survived until the cyclic collector ran.
+                out._backward = lambda _g, _b=backward, _o=out: _b(_o.grad)
+            else:
+                out._backward = backward
         return out
 
     def _accumulate(self, grad: np.ndarray) -> None:
@@ -187,7 +217,7 @@ class Tensor:
 
         for node in reversed(order):
             if node._backward is not None and node.grad is not None:
-                node._backward()
+                node._backward(node.grad)
 
     def zero_grad(self) -> None:
         self.grad = None
@@ -464,19 +494,139 @@ def concat(tensors: Iterable[Tensor], axis: int = 0) -> Tensor:
     return Tensor._make(data, tensors, backward)
 
 
-def spmm(matrix: sp.spmatrix, x: Tensor) -> Tensor:
+# --------------------------------------------------------------------- #
+# Sparse matmul with a per-matrix transpose cache                        #
+# --------------------------------------------------------------------- #
+
+#: CSR transposes keyed by ``id()`` of the forward matrix.  Entries are
+#: evicted by a ``weakref.finalize`` hook the moment the forward matrix is
+#: garbage-collected, so the cache can never outlive (or leak) its keys.
+_TRANSPOSE_CACHE: dict[int, sp.csr_matrix] = {}
+
+
+def cached_transpose(matrix: sp.spmatrix) -> sp.csr_matrix:
+    """Return ``matrix.T.tocsr()``, computed once per matrix *object*.
+
+    Graph convolutions multiply by the same constant normalised adjacency
+    every layer call of every epoch; re-sorting the transpose each time
+    dominated the ``spmm`` backward setup.  Callers must treat the matrix
+    as immutable after the first call (every :class:`~repro.graph.graph.Graph`
+    helper already does).
+    """
+    key = id(matrix)
+    transpose = _TRANSPOSE_CACHE.get(key)
+    if transpose is None:
+        transpose = matrix.T.tocsr()
+        _TRANSPOSE_CACHE[key] = transpose
+        weakref.finalize(matrix, _TRANSPOSE_CACHE.pop, key, None)
+    return transpose
+
+
+def transpose_cache_size() -> int:
+    """Number of live entries in the ``spmm`` transpose cache."""
+    return len(_TRANSPOSE_CACHE)
+
+
+def clear_transpose_cache() -> None:
+    """Drop every cached transpose (entries rebuild lazily)."""
+    _TRANSPOSE_CACHE.clear()
+
+
+_TRANSPOSE_CACHE_ENABLED = True
+
+
+@contextlib.contextmanager
+def transpose_cache_disabled():
+    """Recompute ``matrix.T.tocsr()`` on every ``spmm`` call in the block.
+
+    Restores the pre-cache behaviour; used by the perf benchmarks'
+    reference mode so before/after timings compare like with like.
+    """
+    global _TRANSPOSE_CACHE_ENABLED
+    previous = _TRANSPOSE_CACHE_ENABLED
+    _TRANSPOSE_CACHE_ENABLED = False
+    try:
+        yield
+    finally:
+        _TRANSPOSE_CACHE_ENABLED = previous
+
+
+def spmm(matrix: sp.spmatrix, x: Tensor,
+         transpose: sp.spmatrix | None = None) -> Tensor:
     """Multiply a *constant* scipy sparse matrix by a tensor.
 
     The sparse matrix carries no gradient; the backward pass propagates
     ``matrix.T @ grad`` into ``x``.  This is the workhorse of every graph
-    convolution in the library.
+    convolution in the library.  The CSR transpose used by the backward
+    pass is cached per matrix object (see :func:`cached_transpose`); pass
+    ``transpose`` explicitly to override it.
     """
     if not sp.issparse(matrix):
         raise TypeError("spmm expects a scipy sparse matrix")
     matrix = matrix.tocsr()
-    transpose = matrix.T.tocsr()
+    if transpose is None:
+        if _TRANSPOSE_CACHE_ENABLED:
+            transpose = cached_transpose(matrix)
+        else:
+            transpose = matrix.T.tocsr()
 
     def backward(g):
         x._accumulate(transpose @ g)
 
     return Tensor._make(matrix @ x.data, (x,), backward)
+
+
+# --------------------------------------------------------------------- #
+# Fused loss kernels                                                     #
+# --------------------------------------------------------------------- #
+
+def fused_bce_with_logits(logits: Tensor, target: np.ndarray | Tensor,
+                          weights: np.ndarray | None = None,
+                          reduction: str = "sum") -> Tensor:
+    """Numerically stable BCE-on-logits as a *single* autograd node.
+
+    Computes ``relu(x) − x·t + log(exp(−|x|) + 1)`` (optionally scaled by
+    per-element ``weights``) followed by the requested reduction, exactly
+    as the op-by-op composition in :mod:`repro.nn.functional` used to —
+    same expressions, same association order, so forward values and
+    gradients are bit-identical — but records one graph node instead of
+    ~8 and allocates a handful of N×N temporaries instead of ~15 per
+    call.  The closed-form gradient is ``σ(x) − t`` (times weights and
+    the reduction scale), assembled from the saved forward intermediates.
+    """
+    x = logits.data
+    t = target.data if isinstance(target, Tensor) else np.asarray(target)
+    if weights is not None:
+        weights = np.asarray(weights, dtype=np.float64)
+    mask = x > 0
+    exp_neg_abs = np.exp(-np.abs(x))
+    denom = exp_neg_abs + 1.0
+    elementwise = (x * mask - x * t) + np.log(denom)
+    if weights is not None:
+        elementwise = elementwise * weights
+    if reduction == "none":
+        value = elementwise
+        scale = None
+    elif reduction == "sum":
+        value = elementwise.sum()
+        scale = 1.0
+    elif reduction == "mean":
+        value = elementwise.sum() * (1.0 / elementwise.size)
+        scale = 1.0 / elementwise.size
+    else:
+        raise ValueError(f"unknown reduction: {reduction!r}")
+
+    def backward(g):
+        if scale is None:
+            upstream = g
+        else:
+            upstream = np.broadcast_to(g * scale, x.shape)
+        if weights is not None:
+            upstream = upstream * weights
+        dv = upstream / denom
+        grad = upstream * mask
+        grad = grad + (-upstream) * t
+        grad = grad + (-(dv * exp_neg_abs)) * np.sign(x)
+        logits._accumulate(grad)
+
+    return Tensor._make(value, (logits,), backward)

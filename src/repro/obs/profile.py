@@ -40,7 +40,7 @@ _LABELS = {"__radd__": "add", "__rmul__": "mul", "__matmul__": "matmul"}
 
 #: Module-level autograd entry points patched in every repro module that
 #: imported them by value.
-_FUNCTIONS = ["spmm", "concat"]
+_FUNCTIONS = ["spmm", "concat", "fused_bce_with_logits"]
 
 #: Per-element cost heuristic for the FLOP-ish estimate.
 _TRANSCENDENTAL = {"exp", "log", "sqrt", "sigmoid", "tanh",
@@ -103,12 +103,12 @@ class OpProfiler:
             return
         profiler = self
 
-        def timed_backward():
+        def timed_backward(grad):
             if not profiler.enabled:
-                bwd()
+                bwd(grad)
                 return
             t0 = time.perf_counter()
-            bwd()
+            bwd(grad)
             profiler._stat(label).backward_s += time.perf_counter() - t0
 
         out._backward = timed_backward
@@ -136,9 +136,9 @@ class OpProfiler:
     def _wrap_spmm(self, fn):
         profiler = self
 
-        def wrapped(matrix, x):
+        def wrapped(matrix, x, transpose=None):
             t0 = time.perf_counter()
-            out = fn(matrix, x)
+            out = fn(matrix, x, transpose)
             elapsed = time.perf_counter() - t0
             stat = profiler._stat("spmm")
             stat.calls += 1
@@ -146,6 +146,24 @@ class OpProfiler:
             cols = x.data.shape[1] if x.data.ndim > 1 else 1
             stat.flops += 2 * int(matrix.nnz) * cols
             profiler._wrap_backward("spmm", out)
+            return out
+
+        wrapped.__name__ = fn.__name__
+        return wrapped
+
+    def _wrap_fused_bce(self, fn):
+        profiler = self
+
+        def wrapped(logits, target, weights=None, reduction="sum"):
+            t0 = time.perf_counter()
+            out = fn(logits, target, weights=weights, reduction=reduction)
+            elapsed = time.perf_counter() - t0
+            stat = profiler._stat("bce_fused")
+            stat.calls += 1
+            stat.forward_s += elapsed
+            # relu/mul/sub/abs/exp/log + reduction ≈ 8 flops per element.
+            stat.flops += 8 * int(logits.data.size)
+            profiler._wrap_backward("bce_fused", out)
             return out
 
         wrapped.__name__ = fn.__name__
@@ -183,7 +201,8 @@ class OpProfiler:
             original = getattr(Tensor, name)
             self._saved_methods[name] = original
             setattr(Tensor, name, self._wrap_method(name, original))
-        wrappers = {"spmm": self._wrap_spmm, "concat": self._wrap_concat}
+        wrappers = {"spmm": self._wrap_spmm, "concat": self._wrap_concat,
+                    "fused_bce_with_logits": self._wrap_fused_bce}
         for fname in _FUNCTIONS:
             original = getattr(autograd, fname)
             wrapped = wrappers[fname](original)

@@ -318,14 +318,16 @@ class TestInstrumentation:
         assert snap["denoise.edges_dropped"] == record["edges_dropped"]
 
     def test_fit_spans_cover_epochs_and_proximity(self, small_graph):
-        from repro.core import AnECI
+        from repro.core import AnECI, workspace_cache
+        workspace_cache().clear()  # force the traced fit to rebuild
         tracer = Tracer()
         with trace.activate(tracer):
             AnECI(small_graph.num_features, num_communities=3,
                   epochs=4, seed=0).fit(small_graph)
         assert tracer.find("fit").count == 1
         assert tracer.find("fit/epoch").count == 4
-        assert tracer.find("fit/setup/proximity/order1") is not None
+        assert tracer.find(
+            "fit/setup/workspace/build/proximity/order1") is not None
 
     def test_denoise_spans(self, small_graph):
         from repro.core import AnECIPlus

@@ -1,0 +1,94 @@
+"""Compare two training perf-benchmark result files and flag regressions.
+
+Diffs the ``after_s`` timing of every case shared by a baseline and a
+current ``BENCH_train.json`` (as written by
+``benchmarks/test_perf_training.py``) and fails when any case slowed
+down by more than ``--threshold``.
+
+Run:  python tools/bench_compare.py BENCH_train.json /tmp/BENCH_train.json
+      python tools/bench_compare.py old.json new.json --threshold 0.25 --warn-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def load_payload(path: Path) -> dict:
+    return json.loads(path.read_text())
+
+
+def cases_by_name(payload: dict) -> dict[str, dict]:
+    return {case["case"]: case for case in payload.get("cases", [])}
+
+
+def compare(baseline: dict[str, dict], current: dict[str, dict],
+            threshold: float) -> tuple[list[tuple], list[str]]:
+    """Per-case rows plus the names of cases regressing past threshold."""
+    rows, regressions = [], []
+    for name in sorted(set(baseline) | set(current)):
+        base = baseline.get(name)
+        curr = current.get(name)
+        if base is None or curr is None:
+            rows.append((name, base and base["after_s"],
+                         curr and curr["after_s"], None, "missing"))
+            continue
+        ratio = curr["after_s"] / base["after_s"] if base["after_s"] else None
+        status = "ok"
+        if ratio is not None and ratio > 1.0 + threshold:
+            status = "REGRESSION"
+            regressions.append(name)
+        rows.append((name, base["after_s"], curr["after_s"], ratio, status))
+    return rows, regressions
+
+
+def format_table(rows: list[tuple]) -> str:
+    def fmt(value, spec):
+        return format(value, spec) if value is not None else "-"
+
+    lines = [f"{'case':24s} {'base_s':>9s} {'curr_s':>9s} "
+             f"{'ratio':>7s}  status"]
+    for name, base_s, curr_s, ratio, status in rows:
+        lines.append(f"{name:24s} {fmt(base_s, '9.3f')} "
+                     f"{fmt(curr_s, '9.3f')} {fmt(ratio, '7.2f')}  {status}")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff two BENCH_train.json files by after_s per case.")
+    parser.add_argument("baseline", type=Path,
+                        help="tracked baseline BENCH_train.json")
+    parser.add_argument("current", type=Path,
+                        help="freshly produced BENCH_train.json")
+    parser.add_argument("--threshold", type=float, default=0.30,
+                        help="allowed fractional slowdown before a case "
+                             "counts as a regression (default 0.30)")
+    parser.add_argument("--warn-only", action="store_true",
+                        help="report regressions but always exit 0 "
+                             "(for noisy shared CI runners)")
+    args = parser.parse_args(argv)
+
+    base_payload = load_payload(args.baseline)
+    curr_payload = load_payload(args.current)
+    if base_payload.get("smoke") != curr_payload.get("smoke"):
+        print("note: smoke flags differ between the two files — case "
+              "configs are not the same size, ratios are indicative only")
+    rows, regressions = compare(cases_by_name(base_payload),
+                                cases_by_name(curr_payload), args.threshold)
+    print(format_table(rows))
+
+    if regressions:
+        verb = "warning" if args.warn_only else "error"
+        print(f"\n{verb}: {len(regressions)} case(s) regressed beyond "
+              f"+{args.threshold:.0%}: {', '.join(regressions)}")
+        return 0 if args.warn_only else 1
+    print("\nno regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -32,6 +32,43 @@ PACKAGES = [
 #: Hand-written markdown appended after a package's generated section;
 #: survives regeneration because it lives here, not in docs/API.md.
 PACKAGE_NOTES = {
+    "repro.core": """\
+### Performance guide
+
+`AnECI.fit` reuses every epoch-invariant constant through the
+process-wide **fit workspace cache**: `get_workspace(graph, config)`
+returns a `FitWorkspace` (normalised adjacency, high-order proximity,
+modularity terms, densified reconstruction target) keyed by a
+`fit_fingerprint` over the adjacency CSR arrays and the proximity/target
+config knobs.  Restarts and unchanged-graph refits are cache hits;
+structural mutations miss by construction.  Inspect traffic via the
+`workspace.hits` / `workspace.misses` / `workspace.evictions` counters,
+bound memory with `REPRO_WORKSPACE_CACHE_SIZE` (entries) and
+`REPRO_WORKSPACE_DENSE_CAP` (max nodes for a dense sampled-path
+target), and bypass it entirely with `workspace.cache_disabled()`.
+
+The losses themselves run on fused single-node autograd kernels
+(`repro.nn.fused_bce_with_logits`, transpose-cached `spmm`) that are
+bit-exact against the historical op composition; toggle the reference
+path with `repro.nn.functional.reference_loss_kernels()`.
+
+Benchmarking:
+
+```bash
+# rewrite the tracked baseline (repo-root BENCH_train.json)
+PYTHONPATH=src python -m pytest benchmarks/test_perf_training.py -q
+# quick CI-sized run to a scratch file
+REPRO_PERF_SMOKE=1 REPRO_BENCH_OUT=/tmp/BENCH_train.json \\
+  PYTHONPATH=src python -m pytest benchmarks/test_perf_training.py -q
+# per-case after_s diff; exits 1 on >30% slowdown unless --warn-only
+python tools/bench_compare.py BENCH_train.json /tmp/BENCH_train.json
+```
+
+Each `BENCH_train.json` case records `before_s`/`after_s` medians
+(reference vs optimised mode over interleaved repeats), per-epoch and
+profiled backward times, and `max_loss_delta` — which must stay at
+0.0: the overhaul changes wall-clock, never numerics.
+""",
     "repro.obs": """\
 ### Observability guide
 
