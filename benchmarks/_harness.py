@@ -22,8 +22,20 @@ import numpy as np
 from repro import baselines as B
 from repro.core import AnECI, AnECIPlus
 from repro.obs import metrics as _metrics, trace as _trace
+from repro.parallel import ParallelExecutor, resolve_workers
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Worker count for benchmarks that opt into process parallelism
+#: (``REPRO_WORKERS`` in the environment; 1 = serial).  Deterministic
+#: merging means opting in never changes a benchmark's rows — only its
+#: wall clock — so figure/table runs can fan out freely.
+WORKERS = resolve_workers()
+
+
+def executor() -> ParallelExecutor:
+    """A :class:`ParallelExecutor` at the harness worker count."""
+    return ParallelExecutor(WORKERS)
 
 #: Benchmarks always trace: every model fit/denoise/proximity span lands
 #: in this tracer, and :func:`save_results` writes the aggregated tree to
@@ -130,6 +142,7 @@ def save_timing_breakdown(name: str) -> None:
     payload = {
         "name": name,
         "total_s": TRACER.total_seconds(),
+        "workers": WORKERS,
         "spans": TRACER.to_dict(),
         "metrics": _metrics.registry().snapshot(),
     }

@@ -1,0 +1,204 @@
+"""Tracked benchmark of the process-parallel execution layer.
+
+Times the two headline fan-out workloads — ``n_init`` restarts
+(:meth:`AnECI.fit`) and :func:`grid_search_aneci` — serially and at 2,
+4 and ``os.cpu_count()`` workers, and proves the determinism contract:
+every worker count must produce **bit-identical selected weights**
+(resp. trial scores), verified by a content hash recorded in the output.
+
+Results land in ``BENCH_parallel.json`` at the repo root (override with
+``REPRO_BENCH_PARALLEL_OUT``); compare two files with
+``python tools/bench_compare.py``.  ``REPRO_PERF_SMOKE=1`` shrinks every
+case for CI smoke runs.
+
+Speedup numbers are only meaningful on multi-core hardware: with a
+single visible CPU the pool time-slices one core and parallel medians
+sit at or slightly above serial, so the speedup gates are asserted only
+when ``os.cpu_count()`` actually covers the worker count (the
+``hardware_limited`` flag in the payload records the situation).  The
+equivalence hash is asserted unconditionally — determinism does not
+depend on the core count.
+
+Run with: ``PYTHONPATH=src python -m pytest benchmarks/test_perf_parallel.py -q``
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import statistics
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core import AnECI, workspace_cache
+from repro.experiments import grid_search_aneci
+from repro.graph import load_dataset
+from repro.graph.generators import planted_partition
+from repro.nn.autograd import clear_transpose_cache
+
+SMOKE = os.environ.get("REPRO_PERF_SMOKE", "") == "1"
+REPEATS = 1 if SMOKE else int(os.environ.get("REPRO_PERF_REPEATS", "3"))
+OUT_PATH = Path(os.environ.get(
+    "REPRO_BENCH_PARALLEL_OUT",
+    Path(__file__).resolve().parent.parent / "BENCH_parallel.json"))
+CPU_COUNT = os.cpu_count() or 1
+
+#: Worker counts timed per case: serial, the CI pair, and every core.
+WORKER_COUNTS = sorted({1, 2, 4, CPU_COUNT})
+
+_RESULTS: dict[str, dict] = {}
+
+
+def reset_caches():
+    workspace_cache().clear()
+    clear_transpose_cache()
+
+
+def _digest(arrays) -> str:
+    digest = hashlib.blake2b(digest_size=16)
+    for arr in arrays:
+        digest.update(np.ascontiguousarray(arr).tobytes())
+    return digest.hexdigest()
+
+
+# --------------------------------------------------------------------- #
+# Case: n_init restarts                                                 #
+# --------------------------------------------------------------------- #
+def build_restart_case():
+    graph = planted_partition(
+        4, 30 if SMOKE else 100, 0.3, 0.02, np.random.default_rng(1),
+        num_features=32 if SMOKE else 48)
+    overrides = dict(num_communities=graph.num_classes, lr=0.02, order=2,
+                     seed=0, n_init=4, epochs=5 if SMOKE else 25)
+    return graph, overrides
+
+
+def timed_restart_fit(graph, overrides, workers):
+    """One cold multi-restart fit at the given worker count."""
+    reset_caches()
+    model = AnECI(graph.num_features, **overrides)
+    start = time.perf_counter()
+    model.fit(graph, workers=workers)
+    elapsed = time.perf_counter() - start
+    fingerprint = _digest(
+        list(model.encoder.state_dict().values())
+        + [np.asarray([r["loss"] for r in model.history])])
+    return elapsed, fingerprint
+
+
+# --------------------------------------------------------------------- #
+# Case: grid search                                                     #
+# --------------------------------------------------------------------- #
+def build_grid_case():
+    graph = load_dataset("cora", scale=0.06 if SMOKE else 0.12, seed=0)
+    grid = {"order": [1, 2], "beta1": [0.5, 1.0]}
+    base = {"epochs": 5 if SMOKE else 20, "lr": 0.02}
+    return graph, grid, base
+
+
+def timed_grid_search(graph, grid, base, workers):
+    reset_caches()
+    start = time.perf_counter()
+    result = grid_search_aneci(graph, grid=grid, base_params=base,
+                               workers=workers)
+    elapsed = time.perf_counter() - start
+    fingerprint = _digest(
+        [np.asarray([t["val_score"] for t in result.trials]),
+         np.asarray([result.best_val_score, result.test_score])])
+    return elapsed, fingerprint
+
+
+# --------------------------------------------------------------------- #
+# Harness                                                               #
+# --------------------------------------------------------------------- #
+def run_case(name, timed, config):
+    """Median-time ``timed(workers)`` per worker count; check the hashes."""
+    timed(1)  # warm imports/allocator outside the timed region
+
+    per_workers: dict[int, float] = {}
+    hashes: dict[int, str] = {}
+    for workers in WORKER_COUNTS:
+        times = []
+        for _ in range(REPEATS):
+            elapsed, fingerprint = timed(workers)
+            times.append(elapsed)
+            hashes[workers] = fingerprint
+        per_workers[workers] = statistics.median(times)
+
+    serial_s = per_workers[1]
+    parallel_s = {w: s for w, s in per_workers.items() if w > 1}
+    best_workers, best_s = min(parallel_s.items(), key=lambda kv: kv[1])
+    hash_match = len(set(hashes.values())) == 1
+    result = {
+        "case": name,
+        "config": config,
+        "repeats": REPEATS,
+        "cpu_count": CPU_COUNT,
+        "hardware_limited": CPU_COUNT < 2,
+        "per_workers_s": {str(w): round(s, 4)
+                          for w, s in sorted(per_workers.items())},
+        "speedup_at": {str(w): round(serial_s / s, 3)
+                       for w, s in sorted(parallel_s.items())},
+        "before_s": round(serial_s, 4),
+        "after_s": round(best_s, 4),
+        "best_workers": best_workers,
+        "speedup": round(serial_s / best_s, 3),
+        "equivalence_hash": hashes[1],
+        "hash_match": hash_match,
+    }
+    _RESULTS[name] = result
+    print(f"\n[{name}] serial={serial_s:.2f}s "
+          + " ".join(f"w{w}={s:.2f}s" for w, s in sorted(parallel_s.items()))
+          + f" hash_match={hash_match}")
+    return result
+
+
+def test_restart_case():
+    graph, overrides = build_restart_case()
+    result = run_case("restarts_n_init4",
+                      lambda w: timed_restart_fit(graph, overrides, w),
+                      overrides)
+    # Determinism is the unconditional gate: every worker count selects
+    # bit-identical weights and histories.
+    assert result["hash_match"]
+    # Speedup gates only bind where the hardware can express them.
+    if not SMOKE and CPU_COUNT >= 4:
+        assert result["speedup_at"]["4"] >= 1.5
+    elif not SMOKE and CPU_COUNT >= 2:
+        assert result["speedup_at"]["2"] >= 1.2
+
+
+def test_grid_search_case():
+    graph, grid, base = build_grid_case()
+    result = run_case("grid_search_2x2",
+                      lambda w: timed_grid_search(graph, grid, base, w),
+                      {"grid": {k: list(v) for k, v in grid.items()},
+                       **base})
+    assert result["hash_match"]
+    if not SMOKE and CPU_COUNT >= 4:
+        assert result["speedup_at"]["4"] >= 1.3
+
+
+def test_write_results():
+    """Aggregate every case into the tracked benchmark file (runs last)."""
+    if "restarts_n_init4" not in _RESULTS:
+        test_restart_case()
+    if "grid_search_2x2" not in _RESULTS:
+        test_grid_search_case()
+    payload = {
+        "benchmark": "parallel_execution",
+        "smoke": SMOKE,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "cpu_count": CPU_COUNT,
+        "worker_counts": WORKER_COUNTS,
+        "cases": [_RESULTS[name] for name in sorted(_RESULTS)],
+    }
+    OUT_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"\nwrote {OUT_PATH}")
+    assert all(case["hash_match"] for case in payload["cases"])

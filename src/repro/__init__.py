@@ -24,8 +24,12 @@ def __getattr__(name):
     if name == "Graph":
         from .graph.graph import Graph
         return Graph
+    if name in {"ParallelExecutor", "parallel_map", "resolve_workers"}:
+        from . import parallel
+        return getattr(parallel, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 __all__ = ["AnECI", "AnECIPlus", "Graph", "load_dataset", "DATASETS",
+           "ParallelExecutor", "parallel_map", "resolve_workers",
            "__version__"]

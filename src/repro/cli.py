@@ -21,6 +21,11 @@ Global observability flags (before the subcommand): ``--trace PATH``
 streams every structured event the run emits to a JSONL file and
 appends the final span tree; ``--profile`` prints the per-op autograd
 table after the command finishes.
+
+``--workers N`` (default: the ``REPRO_WORKERS`` environment variable,
+else 1) fans the parallelisable layers — ``n_init`` restarts, grid
+trials, experiment sweep axes — over a process pool with deterministic
+merging, so any command's output is identical at any worker count.
 """
 
 from __future__ import annotations
@@ -28,6 +33,7 @@ from __future__ import annotations
 import argparse
 import contextlib
 import json
+import os
 import sys
 import time
 
@@ -46,6 +52,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--profile", action="store_true",
                         help="print the per-op autograd profile after "
                              "the command finishes")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="process-pool workers for restarts/sweeps "
+                             "(default: $REPRO_WORKERS, else 1; results "
+                             "are identical at any worker count)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list calibrated benchmark datasets")
@@ -256,8 +266,10 @@ def cmd_profile(args) -> int:
     coverage so regressions in un-profiled code stand out).
     """
     from .obs import profile as op_profile, trace
+    from .parallel import resolve_workers
     graph = _load(args)
     method = _build_method(args.method, graph, args.epochs, args.seed)
+    workers = resolve_workers()
     tracer = trace.Tracer()
     with trace.activate(tracer), op_profile.profile_ops() as prof:
         method.fit(graph)
@@ -269,13 +281,14 @@ def cmd_profile(args) -> int:
     if getattr(args, "json", False):
         print(json.dumps({"command": "profile", "method": args.method,
                           "dataset": args.dataset, "scale": args.scale,
-                          "epochs": args.epochs,
+                          "epochs": args.epochs, "workers": workers,
                           "profile": prof.to_dict(),
                           "spans": tracer.to_dict(),
                           "fit_s": fit_s, "op_coverage": coverage}))
         return 0
     print(f"profiled {args.method} on {graph.name} "
-          f"({graph.num_nodes} nodes, {args.epochs} epochs)\n")
+          f"({graph.num_nodes} nodes, {args.epochs} epochs, "
+          f"workers={workers})\n")
     print(prof.report(top=args.top))
     print(f"\ntraced wall time: {fit_s:.4f}s   "
           f"op coverage: {100.0 * coverage:.1f}%\n")
@@ -340,6 +353,11 @@ def _observability(args):
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.workers is not None:
+        # The env var is how worker counts thread through every layer
+        # (fit restarts, grid search, runners) without changing each
+        # call signature on the way down.
+        os.environ["REPRO_WORKERS"] = str(args.workers)
     handler = {
         "datasets": cmd_datasets,
         "generate": cmd_generate,

@@ -63,7 +63,8 @@ class AnECI:
     # ------------------------------------------------------------------ #
     # Training                                                            #
     # ------------------------------------------------------------------ #
-    def fit(self, graph: Graph, callback=None) -> "AnECI":
+    def fit(self, graph: Graph, callback=None,
+            workers: int | None = None) -> "AnECI":
         """Train on ``graph``; each call restarts from fresh weights.
 
         ``callback(epoch, model, record)`` runs after every epoch, where
@@ -75,12 +76,30 @@ class AnECI:
         initialisations and the restart with the highest final modularity
         is kept; the callback observes every restart (distinguishable by
         the record's ``restart`` key).
+
+        ``workers`` (default: the ``REPRO_WORKERS`` environment variable,
+        else serial) runs the restarts in a process pool via
+        :mod:`repro.parallel` — results, selected weights and the emitted
+        telemetry stream are bit-identical to the serial loop.  A
+        non-``None`` ``callback`` forces the serial path: per-epoch
+        callbacks observe live model state, which cannot cross a process
+        boundary.
         """
         if self.config.n_init > 1:
-            return self._fit_with_restarts(graph, callback)
-        return self._fit_once(graph, callback, self.config.seed)
+            return self._fit_with_restarts(graph, callback, workers)
+        self._fit_once(graph, callback, self.config.seed)
+        # Single-init fits emit the same per-restart record as n_init > 1
+        # runs, so telemetry consumers see one uniform stream shape.
+        events.emit("restart", restart=0,
+                    final_modularity=self.selection_modularity,
+                    epochs_run=len(self.history), best_so_far=True)
+        return self
 
-    def _fit_with_restarts(self, graph: Graph, callback) -> "AnECI":
+    def _fit_with_restarts(self, graph: Graph, callback,
+                           workers: int | None = None) -> "AnECI":
+        from ..parallel import resolve_workers
+        if callback is None and resolve_workers(workers) > 1:
+            return self._fit_restarts_pooled(graph, workers)
         best_state = None
         best_history = None
         best_q = -np.inf
@@ -104,6 +123,47 @@ class AnECI:
         self.encoder.load_state_dict(best_state)
         self.history = best_history
         self.selection_modularity = best_q
+        return self
+
+    def _fit_restarts_pooled(self, graph: Graph,
+                             workers: int | None) -> "AnECI":
+        """Run the restarts in worker processes, keep the best in-parent.
+
+        Each restart is a pure task (graph, config, derived seed) whose
+        result — weights, selection modularity, history — is merged in
+        restart order, so selection (including the lowest-index tie
+        break) and the replayed epoch/restart event stream match the
+        serial loop exactly.  Workers rebuild the fit workspace cache per
+        process; the content-addressed fingerprints make that a single
+        cheap rebuild per worker.
+        """
+        from ..parallel import ParallelExecutor
+        cfg = self.config
+        best = {"q": -np.inf, "restart": -1, "state": None, "history": None}
+
+        def select(restart: int, value) -> None:
+            state, final_q, history = value
+            if final_q > best["q"]:
+                best.update(q=final_q, restart=restart, state=state,
+                            history=history)
+            events.emit("restart", restart=restart, final_modularity=final_q,
+                        epochs_run=len(history),
+                        best_so_far=restart == best["restart"])
+
+        ParallelExecutor(workers).map(
+            _restart_task,
+            [(graph, cfg, cfg.seed + restart, restart)
+             for restart in range(cfg.n_init)],
+            on_result=select)
+        metrics.registry().counter("aneci.restarts").inc(cfg.n_init)
+        rng = np.random.default_rng(cfg.seed + best["restart"])
+        self.encoder = GCNEncoder(
+            self.num_features, (*cfg.hidden_dims, cfg.num_communities),
+            rng=rng, dropout=cfg.dropout)
+        self.encoder.load_state_dict(best["state"])
+        self._fitted_graph = graph
+        self.history = best["history"]
+        self.selection_modularity = best["q"]
         return self
 
     def _fit_once(self, graph: Graph, callback, seed: int,
@@ -225,8 +285,9 @@ class AnECI:
             z = self.encoder(Tensor(graph.features), adj_norm)
         return z.data.copy()
 
-    def fit_transform(self, graph: Graph, callback=None) -> np.ndarray:
-        return self.fit(graph, callback=callback).embed(graph)
+    def fit_transform(self, graph: Graph, callback=None,
+                      workers: int | None = None) -> np.ndarray:
+        return self.fit(graph, callback=callback, workers=workers).embed(graph)
 
     def membership(self, graph: Graph | None = None) -> np.ndarray:
         """Soft community membership ``P = softmax(Z)`` (Eq. 3)."""
@@ -253,6 +314,19 @@ class AnECI:
         if not use_attributes:
             return membership_entropy_scores(membership)
         return community_anomaly_scores(membership, graph.features)
+
+
+def _restart_task(graph: Graph, config: AnECIConfig, seed: int,
+                  restart: int) -> tuple[dict, float, list[dict]]:
+    """One restart as a pure, picklable task for :mod:`repro.parallel`.
+
+    Returns the trained weights, the selection modularity and the epoch
+    history — everything the parent needs to pick a winner without the
+    model object crossing the process boundary.
+    """
+    model = AnECI(graph.num_features, config=config)
+    model._fit_once(graph, None, seed, restart=restart)
+    return model.encoder.state_dict(), model.selection_modularity, model.history
 
 
 # Re-export so ``from repro.core.aneci import AnECIPlus`` works; the class

@@ -68,10 +68,14 @@ class AnECIPlus:
         self._denoised_graph: Graph | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, graph: Graph) -> "AnECIPlus":
-        """Run both phases of Algorithm 1 on ``graph``."""
+    def fit(self, graph: Graph, workers: int | None = None) -> "AnECIPlus":
+        """Run both phases of Algorithm 1 on ``graph``.
+
+        ``workers`` is forwarded to both stage fits, parallelising their
+        ``n_init`` restarts (see :meth:`repro.core.aneci.AnECI.fit`).
+        """
         with trace.span("denoise/stage1"):
-            self.stage1 = self._factory().fit(graph)
+            self.stage1 = self._factory().fit(graph, workers=workers)
             embedding = self.stage1.embed(graph)
 
         with trace.span("denoise/score"):
@@ -102,7 +106,7 @@ class AnECIPlus:
         self._denoised_graph = denoised
 
         with trace.span("denoise/stage2"):
-            self.stage2 = self._factory().fit(denoised)
+            self.stage2 = self._factory().fit(denoised, workers=workers)
         return self
 
     # ------------------------------------------------------------------ #

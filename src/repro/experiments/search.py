@@ -15,6 +15,7 @@ import numpy as np
 
 from ..core import AnECI
 from ..graph.graph import Graph
+from ..parallel import ParallelExecutor
 from ..tasks.classification import evaluate_embedding
 
 __all__ = ["GridSearchResult", "grid_search_aneci"]
@@ -34,9 +35,19 @@ class GridSearchResult:
         return sorted(self.trials, key=lambda t: -t["val_score"])[:k]
 
 
+def _trial_task(graph: Graph, params: dict,
+                seed: int) -> tuple[np.ndarray, float]:
+    """Fit and validate one grid configuration (pure, picklable task)."""
+    model = AnECI(graph.num_features, **params)
+    z = model.fit_transform(graph)
+    val_score = evaluate_embedding(z, graph, nodes=graph.val_idx, seed=seed)
+    return z, float(val_score)
+
+
 def grid_search_aneci(graph: Graph, grid: dict[str, list],
                       base_params: dict | None = None,
-                      seed: int = 0) -> GridSearchResult:
+                      seed: int = 0,
+                      workers: int | None = None) -> GridSearchResult:
     """Exhaustive grid search for AnECI on the node-classification task.
 
     Parameters
@@ -49,6 +60,11 @@ def grid_search_aneci(graph: Graph, grid: dict[str, list],
         ``beta1``, ``lr``).
     base_params:
         Fixed parameters shared by every trial (e.g. ``epochs``).
+    workers:
+        Run trials in a process pool (default: ``REPRO_WORKERS``, else
+        serial).  Trials are merged in grid order, so the selected
+        configuration — including the first-wins tie break on equal
+        validation scores — matches the serial loop exactly.
     """
     if graph.val_idx is None or graph.test_idx is None:
         raise ValueError("grid search needs validation and test splits")
@@ -59,16 +75,15 @@ def grid_search_aneci(graph: Graph, grid: dict[str, list],
     base.setdefault("seed", seed)
 
     names = sorted(grid)
+    combos = [dict(zip(names, values))
+              for values in itertools.product(*(grid[name] for name in names))]
+    outcomes = ParallelExecutor(workers).map(
+        _trial_task, [(graph, {**base, **combo}, seed) for combo in combos])
+
     trials: list[dict] = []
     best: dict | None = None
-    for values in itertools.product(*(grid[name] for name in names)):
-        params = {**base, **dict(zip(names, values))}
-        model = AnECI(graph.num_features, **params)
-        z = model.fit_transform(graph)
-        val_score = evaluate_embedding(z, graph, nodes=graph.val_idx,
-                                       seed=seed)
-        trial = {"params": dict(zip(names, values)),
-                 "val_score": float(val_score)}
+    for combo, (z, val_score) in zip(combos, outcomes):
+        trial = {"params": combo, "val_score": val_score}
         trials.append(trial)
         if best is None or val_score > best["val_score"]:
             best = {**trial, "embedding": z}

@@ -29,6 +29,16 @@ class EventBus:
     def enabled(self) -> bool:
         return bool(self._sinks)
 
+    def reset(self) -> None:
+        """Detach every sink.
+
+        Worker processes call this right after forking so records they
+        emit are captured locally (for replay in the parent) instead of
+        being written twice through sinks inherited from the parent's
+        memory image.
+        """
+        self._sinks.clear()
+
     def subscribe(self, sink: Sink) -> Callable[[], None]:
         """Attach ``sink`` and return a callable that detaches it."""
         self._sinks.append(sink)

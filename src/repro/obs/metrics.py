@@ -121,6 +121,28 @@ class MetricsRegistry:
                 out[name] = metric.value
         return out
 
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` produced elsewhere into this registry.
+
+        Counters and gauges accumulate by value; timers accumulate both
+        wall time and call count.  Used to replay metrics captured in a
+        worker process back into the parent, so parallel runs report the
+        same totals a serial run would.
+        """
+        for name, value in snapshot.items():
+            if isinstance(value, dict):
+                timer = self.timer(name)
+                timer.total_s += float(value.get("total_s", 0.0))
+                timer.count += int(value.get("count", 0))
+            else:
+                existing = self._metrics.get(name)
+                if isinstance(existing, Gauge):
+                    existing.add(value)
+                elif isinstance(value, float) and not float(value).is_integer():
+                    self.gauge(name).add(value)
+                else:
+                    self.counter(name).inc(int(value))
+
     def reset(self) -> None:
         self._metrics.clear()
 

@@ -24,7 +24,7 @@ import contextlib
 import time
 
 __all__ = ["SpanNode", "Tracer", "span", "set_tracer", "get_tracer",
-           "activate"]
+           "activate", "merge_spans"]
 
 
 class SpanNode:
@@ -50,6 +50,20 @@ class SpanNode:
             out["children"] = {name: node.to_dict()
                                for name, node in self.children.items()}
         return out
+
+    def merge_dict(self, spans: dict) -> None:
+        """Accumulate a ``to_dict()``-style ``{name: payload}`` mapping.
+
+        Each payload's ``total_s``/``count`` is added to the matching
+        child (created on demand) and its ``children`` merged
+        recursively — the span-tree analogue of replaying a worker
+        process's trace into the parent's.
+        """
+        for name, payload in spans.items():
+            node = self.child(name)
+            node.total_s += float(payload.get("total_s", 0.0))
+            node.count += int(payload.get("count", 0))
+            node.merge_dict(payload.get("children", {}))
 
     def self_s(self) -> float:
         """Time not attributed to any child span."""
@@ -110,6 +124,15 @@ class Tracer:
     # -- recording ------------------------------------------------------ #
     def span(self, name: str) -> _Span:
         return _Span(self, name.split("/"))
+
+    def merge_dict(self, spans: dict) -> None:
+        """Merge a ``to_dict()``-style tree under the current span.
+
+        Spans land below whatever span is open on the stack, so replaying
+        a worker's trace inside e.g. a ``fit`` span nests it exactly
+        where the serial run would have recorded it.
+        """
+        self._stack[-1].merge_dict(spans)
 
     def reset(self) -> None:
         self._root = SpanNode("")
@@ -196,3 +219,9 @@ def span(name: str):
     if tracer is None:
         return _NOOP
     return tracer.span(name)
+
+
+def merge_spans(spans: dict) -> None:
+    """Merge a span-dict into the active tracer; no-op when disabled."""
+    if _ACTIVE is not None and spans:
+        _ACTIVE.merge_dict(spans)

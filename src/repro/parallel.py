@@ -1,0 +1,242 @@
+"""Process-parallel execution of pure task functions with deterministic merging.
+
+The embarrassingly parallel layers of the reproduction — ``n_init``
+restarts, grid-search trials, the outer seed/rate/kind axes of the
+experiment runners — are pure numpy workloads: every task is a top-level
+function of picklable arguments whose output depends only on those
+arguments (each task carries its own explicitly derived seed).
+:class:`ParallelExecutor` maps such functions over a
+:class:`concurrent.futures.ProcessPoolExecutor` while keeping the
+**serial contract**:
+
+* Results are merged in task-index order, so parallel output is
+  bit-identical to the serial loop (ties in any downstream "best of"
+  selection still break toward the lowest index).
+* Telemetry emitted inside a worker — event-bus records, metric
+  increments, tracing spans — is captured by a :class:`ChildTelemetry`
+  sink and replayed in the parent **in task order**, so subscribed sinks,
+  counters and span trees end up identical to a serial run.
+* Any pool-level failure (a crashed worker, an unpicklable task, a
+  missing ``multiprocessing`` primitive) falls back to running every
+  task serially in-process: the run finishes with a warning instead of
+  failing.  Exceptions *raised by the task function itself* propagate
+  unchanged, exactly as they would serially.
+
+Worker count resolution (:func:`resolve_workers`): an explicit argument
+wins, else the ``REPRO_WORKERS`` environment variable, else 1 (serial).
+``auto`` or ``0`` means :func:`os.cpu_count`.  Inside a worker process
+the answer is always 1, so nested parallelism cannot fork-bomb.
+
+Workers rebuild per-process state on first use: notably the fit
+workspace cache (:mod:`repro.core.workspace`) starts from the parent's
+forked image (start method permitting) or empty, and its
+content-addressed fingerprints make any rebuild cheap and correct.  Pool
+workers persist across the tasks of one ``map`` call, so each worker
+pays at most one rebuild per distinct graph.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import warnings
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Sequence
+
+from .obs import events, metrics, trace
+
+__all__ = [
+    "ChildTelemetry", "ParallelExecutor", "TaskOutcome", "parallel_map",
+    "resolve_workers",
+]
+
+#: Set in worker processes so nested code resolves to serial execution.
+_IN_WORKER = False
+
+
+def resolve_workers(value: int | str | None = None) -> int:
+    """Resolve a worker count: explicit value > ``REPRO_WORKERS`` > 1.
+
+    ``"auto"`` or ``0`` maps to :func:`os.cpu_count`; unparseable or
+    negative values warn and fall back to 1.  Inside a worker process
+    this always returns 1 (no nested pools).
+    """
+    if _IN_WORKER:
+        return 1
+    if value is None:
+        value = os.environ.get("REPRO_WORKERS", "")
+        if not value:
+            return 1
+    if isinstance(value, str):
+        if value.strip().lower() == "auto":
+            return os.cpu_count() or 1
+        try:
+            value = int(value)
+        except ValueError:
+            warnings.warn(
+                f"cannot parse worker count {value!r}; running serially",
+                RuntimeWarning, stacklevel=2)
+            return 1
+    if value == 0:
+        return os.cpu_count() or 1
+    if value < 0:
+        warnings.warn(
+            f"negative worker count {value}; running serially",
+            RuntimeWarning, stacklevel=2)
+        return 1
+    return int(value)
+
+
+@dataclass
+class ChildTelemetry:
+    """Observability captured in a worker, replayed in the parent.
+
+    ``events`` are the raw event-bus records (minus the ``kind`` key
+    split out), ``metrics`` is a registry snapshot and ``spans`` a
+    tracer ``to_dict()`` tree — everything the task emitted between
+    entering and leaving the worker-side wrapper.
+    """
+
+    events: list[dict] = field(default_factory=list)
+    metrics: dict = field(default_factory=dict)
+    spans: dict = field(default_factory=dict)
+
+    def replay(self) -> None:
+        """Re-emit the captured telemetry into the calling process."""
+        for record in self.events:
+            record = dict(record)
+            kind = record.pop("kind", "event")
+            events.emit(kind, **record)
+        if self.metrics:
+            metrics.registry().merge_snapshot(self.metrics)
+        trace.merge_spans(self.spans)
+
+
+@dataclass
+class TaskOutcome:
+    """One task's return value plus its captured telemetry."""
+
+    index: int
+    value: object
+    telemetry: ChildTelemetry | None = None
+
+
+def _run_in_worker(fn: Callable, index: int, args: tuple,
+                   capture: bool) -> TaskOutcome:
+    """Worker-side wrapper: isolate telemetry, run the task, package both.
+
+    Runs in the pool process.  Inherited sinks/tracers are detached so
+    nothing is double-reported, the metrics registry is reset so the
+    snapshot covers exactly this task, and nested ``resolve_workers``
+    calls see a serial environment.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    os.environ["REPRO_WORKERS"] = "1"
+    if not capture:
+        return TaskOutcome(index, fn(*args))
+    events.BUS.reset()
+    sink = events.MemorySink()
+    events.BUS.subscribe(sink)
+    metrics.registry().reset()
+    tracer = trace.Tracer()
+    with trace.activate(tracer):
+        value = fn(*args)
+    return TaskOutcome(
+        index, value,
+        ChildTelemetry(events=sink.records,
+                       metrics=metrics.registry().snapshot(),
+                       spans=tracer.to_dict()))
+
+
+#: Pool-level failures that trigger the serial fallback.  Task-level
+#: exceptions (raised by ``fn`` itself) are *not* in this set — they
+#: propagate to the caller exactly as a serial loop would raise them.
+def _fallback_errors() -> tuple[type[BaseException], ...]:
+    from concurrent.futures.process import BrokenProcessPool
+    return (BrokenProcessPool, pickle.PicklingError, AttributeError,
+            ImportError, OSError)
+
+
+class ParallelExecutor:
+    """Map pure task functions over a process pool, deterministically.
+
+    Parameters
+    ----------
+    max_workers:
+        Worker count, resolved through :func:`resolve_workers` (so
+        ``None`` defers to ``REPRO_WORKERS``).  ``<= 1`` runs every task
+        serially in-process — same function, same order, no pool.
+    telemetry:
+        Capture and replay worker-side observability (events, metrics,
+        spans).  Disable for tasks whose event volume outweighs their
+        compute.
+    """
+
+    def __init__(self, max_workers: int | str | None = None,
+                 telemetry: bool = True):
+        self.workers = resolve_workers(max_workers)
+        self.telemetry = telemetry
+
+    def map(self, fn: Callable, tasks: Iterable[Sequence],
+            on_result: Callable[[int, object], None] | None = None) -> list:
+        """Run ``fn(*task)`` for every task; return results in task order.
+
+        ``on_result(index, value)`` fires once per task, in index order,
+        after that task's telemetry has been replayed — the hook point
+        for emitting per-task parent-side events (e.g. ``restart``) in
+        the same stream position a serial loop would.
+        """
+        tasks = [tuple(task) for task in tasks]
+        if self.workers <= 1 or len(tasks) <= 1:
+            return self._map_serial(fn, tasks, on_result)
+        try:
+            outcomes = self._map_pool(fn, tasks)
+        except _fallback_errors() as exc:
+            warnings.warn(
+                f"parallel execution failed ({type(exc).__name__}: {exc}); "
+                f"re-running {len(tasks)} task(s) serially",
+                RuntimeWarning, stacklevel=2)
+            metrics.registry().counter("parallel.fallbacks").inc()
+            events.emit("parallel_fallback", error=type(exc).__name__,
+                        detail=str(exc), tasks=len(tasks))
+            return self._map_serial(fn, tasks, on_result)
+        results = []
+        for outcome in outcomes:
+            if outcome.telemetry is not None:
+                outcome.telemetry.replay()
+            if on_result is not None:
+                on_result(outcome.index, outcome.value)
+            results.append(outcome.value)
+        return results
+
+    def _map_serial(self, fn, tasks, on_result) -> list:
+        results = []
+        for index, task in enumerate(tasks):
+            value = fn(*task)
+            if on_result is not None:
+                on_result(index, value)
+            results.append(value)
+        return results
+
+    def _map_pool(self, fn, tasks) -> list[TaskOutcome]:
+        from concurrent.futures import ProcessPoolExecutor
+        registry = metrics.registry()
+        registry.counter("parallel.tasks").inc(len(tasks))
+        registry.gauge("parallel.workers").set(self.workers)
+        with trace.span("parallel/map"):
+            with ProcessPoolExecutor(
+                    max_workers=min(self.workers, len(tasks))) as pool:
+                futures = [pool.submit(_run_in_worker, fn, index, task,
+                                       self.telemetry)
+                           for index, task in enumerate(tasks)]
+                # Collect in submission (= task-index) order; a worker
+                # crash surfaces here as BrokenProcessPool and triggers
+                # the caller's serial fallback.
+                return [future.result() for future in futures]
+
+
+def parallel_map(fn: Callable, tasks: Iterable[Sequence],
+                 workers: int | str | None = None) -> list:
+    """One-shot :meth:`ParallelExecutor.map` with default telemetry."""
+    return ParallelExecutor(workers).map(fn, tasks)

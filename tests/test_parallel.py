@@ -1,0 +1,233 @@
+"""The process-parallel execution layer: determinism, fallback, config.
+
+The contract under test: any worker count produces bit-identical results
+and an identical telemetry stream, a crashed pool finishes serially
+instead of failing, and ``REPRO_WORKERS`` parsing is forgiving.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core import AnECI
+from repro.experiments import grid_search_aneci
+from repro.graph import load_dataset
+from repro.graph.generators import planted_partition
+from repro.obs import events, metrics
+from repro.obs.events import MemorySink
+from repro.parallel import (ChildTelemetry, ParallelExecutor, parallel_map,
+                            resolve_workers)
+
+
+@pytest.fixture
+def small_graph():
+    return planted_partition(3, 15, 0.6, 0.05, np.random.default_rng(1),
+                             num_features=12)
+
+
+@pytest.fixture
+def split_graph():
+    return load_dataset("cora", scale=0.08, seed=0)
+
+
+# --------------------------------------------------------------------- #
+# Worker-count resolution                                               #
+# --------------------------------------------------------------------- #
+class TestResolveWorkers:
+    def test_default_is_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert resolve_workers() == 1
+
+    def test_env_parsing(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers() == 3
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert resolve_workers(2) == 2
+
+    def test_auto_and_zero_mean_cpu_count(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "auto")
+        assert resolve_workers() == (os.cpu_count() or 1)
+        assert resolve_workers(0) == (os.cpu_count() or 1)
+
+    def test_garbage_warns_and_runs_serially(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "many")
+        with pytest.warns(RuntimeWarning):
+            assert resolve_workers() == 1
+
+    def test_negative_warns_and_runs_serially(self):
+        with pytest.warns(RuntimeWarning):
+            assert resolve_workers(-2) == 1
+
+
+# --------------------------------------------------------------------- #
+# Executor basics                                                       #
+# --------------------------------------------------------------------- #
+def _square(x):
+    return x * x
+
+
+def _nested_worker_count():
+    return resolve_workers(4)
+
+
+def _crash_in_worker(x, parent_pid):
+    # os._exit skips all cleanup: the pool sees a dead worker, which is
+    # exactly the "child crashed" condition the fallback must absorb.
+    # In the parent (serial fallback) the task completes normally.
+    if os.getpid() != parent_pid:
+        os._exit(1)
+    return x * 10
+
+
+class TestParallelExecutor:
+    def test_serial_map_preserves_order(self):
+        assert ParallelExecutor(1).map(_square, [(i,) for i in range(5)]) \
+            == [0, 1, 4, 9, 16]
+
+    def test_pool_map_preserves_order(self):
+        assert ParallelExecutor(2).map(_square, [(i,) for i in range(5)]) \
+            == [0, 1, 4, 9, 16]
+
+    def test_parallel_map_helper(self):
+        assert parallel_map(_square, [(3,), (4,)], workers=2) == [9, 16]
+
+    def test_on_result_fires_in_index_order(self):
+        seen = []
+        ParallelExecutor(2).map(_square, [(i,) for i in range(4)],
+                                on_result=lambda i, v: seen.append((i, v)))
+        assert seen == [(0, 0), (1, 1), (2, 4), (3, 9)]
+
+    def test_workers_resolve_to_serial_inside_workers(self):
+        # Nested parallelism is clamped: a task asking for 4 workers
+        # gets 1 when it is itself running inside a pool worker.
+        counts = ParallelExecutor(2).map(_nested_worker_count, [(), ()])
+        assert counts == [1, 1]
+
+    def test_crash_in_child_falls_back_to_serial(self):
+        sink = MemorySink()
+        unsubscribe = events.BUS.subscribe(sink)
+        try:
+            with pytest.warns(RuntimeWarning, match="re-running"):
+                results = ParallelExecutor(2).map(
+                    _crash_in_worker, [(x, os.getpid()) for x in (1, 2, 3)])
+        finally:
+            unsubscribe()
+        assert results == [10, 20, 30]
+        assert len(sink.by_kind("parallel_fallback")) == 1
+
+    def test_task_exceptions_propagate(self):
+        def boom(x):
+            raise ValueError(f"bad {x}")
+        # Serial path: the task's own exception is not a pool failure.
+        with pytest.raises(ValueError, match="bad 1"):
+            ParallelExecutor(1).map(boom, [(1,)])
+
+
+class TestChildTelemetry:
+    def test_replay_reemits_events_and_metrics(self):
+        metrics.registry().reset()
+        sink = MemorySink()
+        unsubscribe = events.BUS.subscribe(sink)
+        try:
+            ChildTelemetry(
+                events=[{"kind": "epoch", "loss": 1.0}],
+                metrics={"aneci.epochs": 5,
+                         "proximity.order2": {"total_s": 0.5, "count": 2}},
+            ).replay()
+        finally:
+            unsubscribe()
+        assert sink.by_kind("epoch") == [{"kind": "epoch", "loss": 1.0}]
+        assert metrics.registry().counter("aneci.epochs").value == 5
+        timer = metrics.registry().timer("proximity.order2")
+        assert timer.total_s == 0.5 and timer.count == 2
+
+
+# --------------------------------------------------------------------- #
+# Bit-equivalence of the wired-in layers                                #
+# --------------------------------------------------------------------- #
+class TestFitEquivalence:
+    def test_restarts_bit_identical(self, small_graph):
+        serial = AnECI(small_graph.num_features, num_communities=3,
+                       epochs=6, lr=0.05, seed=0, n_init=3)
+        serial.fit(small_graph, workers=1)
+        parallel = AnECI(small_graph.num_features, num_communities=3,
+                         epochs=6, lr=0.05, seed=0, n_init=3)
+        parallel.fit(small_graph, workers=2)
+
+        assert serial.selection_modularity == parallel.selection_modularity
+        assert serial.history == parallel.history
+        for a, b in zip(serial.encoder.state_dict().values(),
+                        parallel.encoder.state_dict().values()):
+            assert np.array_equal(a, b)
+        assert np.array_equal(serial.embed(small_graph),
+                              parallel.embed(small_graph))
+
+    def test_parallel_fit_replays_full_event_stream(self, small_graph):
+        def capture(workers):
+            sink = MemorySink()
+            unsubscribe = events.BUS.subscribe(sink)
+            try:
+                AnECI(small_graph.num_features, num_communities=3, epochs=3,
+                      seed=0, n_init=2).fit(small_graph, workers=workers)
+            finally:
+                unsubscribe()
+            return sink
+
+        serial, parallel = capture(1), capture(2)
+        keyed = lambda s, kind: [  # noqa: E731
+            {k: v for k, v in r.items()} for r in s.by_kind(kind)]
+        assert keyed(serial, "epoch") == keyed(parallel, "epoch")
+        assert keyed(serial, "restart") == keyed(parallel, "restart")
+
+    def test_parallel_fit_merges_epoch_counter(self, small_graph):
+        metrics.registry().reset()
+        AnECI(small_graph.num_features, num_communities=3, epochs=3,
+              seed=0, n_init=2).fit(small_graph, workers=2)
+        assert metrics.registry().counter("aneci.epochs").value == 6
+        assert metrics.registry().counter("aneci.restarts").value == 2
+
+    def test_single_init_emits_restart_event(self, small_graph):
+        sink = MemorySink()
+        unsubscribe = events.BUS.subscribe(sink)
+        try:
+            AnECI(small_graph.num_features, num_communities=3, epochs=2,
+                  seed=0).fit(small_graph)
+        finally:
+            unsubscribe()
+        restarts = sink.by_kind("restart")
+        assert len(restarts) == 1
+        assert restarts[0]["restart"] == 0
+        assert restarts[0]["best_so_far"] is True
+        assert restarts[0]["epochs_run"] == 2
+
+    def test_callback_forces_serial_path(self, small_graph):
+        # A callback must observe live model state, so the parallel path
+        # is bypassed even when workers are requested.
+        seen = []
+        model = AnECI(small_graph.num_features, num_communities=3,
+                      epochs=2, seed=0, n_init=2)
+        model.fit(small_graph, workers=2,
+                  callback=lambda e, m, r: seen.append((r["restart"], e)))
+        assert sorted(set(seen)) == [(0, 0), (0, 1), (1, 0), (1, 1)]
+
+
+class TestGridSearchEquivalence:
+    def test_grid_search_bit_identical(self, split_graph):
+        kwargs = dict(grid={"order": [1, 2]},
+                      base_params={"epochs": 6, "lr": 0.02})
+        serial = grid_search_aneci(split_graph, workers=1, **kwargs)
+        parallel = grid_search_aneci(split_graph, workers=2, **kwargs)
+        assert serial.best_params == parallel.best_params
+        assert serial.best_val_score == parallel.best_val_score
+        assert serial.test_score == parallel.test_score
+        assert serial.trials == parallel.trials
+
+    def test_grid_search_reads_env_default(self, split_graph, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        result = grid_search_aneci(
+            split_graph, grid={"order": [1]},
+            base_params={"epochs": 3, "lr": 0.02})
+        assert len(result.trials) == 1

@@ -1,9 +1,16 @@
-"""Compare two training perf-benchmark result files and flag regressions.
+"""Compare two perf-benchmark result files and flag regressions.
 
-Diffs the ``after_s`` timing of every case shared by a baseline and a
-current ``BENCH_train.json`` (as written by
-``benchmarks/test_perf_training.py``) and fails when any case slowed
-down by more than ``--threshold``.
+Diffs the per-case timing of every case shared by a baseline and a
+current result file and fails when any case slowed down by more than
+``--threshold``.  Works on both tracked benchmark formats:
+``BENCH_train.json`` (``benchmarks/test_perf_training.py``, timing key
+``after_s``) and ``BENCH_parallel.json``
+(``benchmarks/test_perf_parallel.py``, same key — the best parallel
+median).
+
+A missing baseline, or a baseline written by a smoke run (``"smoke":
+true``), is not an error: CI compares against artifacts that may not
+exist yet, so those cases print a note and exit 0.
 
 Run:  python tools/bench_compare.py BENCH_train.json /tmp/BENCH_train.json
       python tools/bench_compare.py old.json new.json --threshold 0.25 --warn-only
@@ -72,8 +79,21 @@ def main(argv: list[str] | None = None) -> int:
                              "(for noisy shared CI runners)")
     args = parser.parse_args(argv)
 
+    if not args.baseline.exists():
+        print(f"no baseline: {args.baseline} does not exist — nothing to "
+              "compare against yet, skipping")
+        return 0
     base_payload = load_payload(args.baseline)
+    if base_payload.get("smoke"):
+        print(f"no baseline: {args.baseline} was written by a smoke run — "
+              "its shrunken cases are not comparable, skipping")
+        return 0
     curr_payload = load_payload(args.current)
+    if base_payload.get("benchmark") != curr_payload.get("benchmark"):
+        print(f"note: comparing different benchmarks "
+              f"({base_payload.get('benchmark')} vs "
+              f"{curr_payload.get('benchmark')}) — only shared case names "
+              "line up")
     if base_payload.get("smoke") != curr_payload.get("smoke"):
         print("note: smoke flags differ between the two files — case "
               "configs are not the same size, ratios are indicative only")

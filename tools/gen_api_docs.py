@@ -27,6 +27,7 @@ PACKAGES = [
     "repro.viz",
     "repro.experiments",
     "repro.obs",
+    "repro.parallel",
 ]
 
 #: Hand-written markdown appended after a package's generated section;
@@ -111,6 +112,49 @@ process-wide tracer and `save_results(name, ...)` writes the aggregated
 span tree plus the metrics snapshot to
 `benchmarks/results/<name>.timing.json` next to each benchmark's result
 JSON, then resets both so every benchmark gets its own breakdown.
+""",
+    "repro.parallel": """\
+### Parallelism guide
+
+`ParallelExecutor` maps **pure, picklable task functions** over a
+`ProcessPoolExecutor` with deterministic semantics: each task gets an
+explicitly derived seed, results are merged in task-index order, and
+ties (e.g. equal restart modularities) break toward the lowest index —
+so any worker count produces **bit-identical** output to a serial run.
+Worker counts resolve as explicit argument > `REPRO_WORKERS` env var >
+1 (serial); `"auto"`/`0` means `os.cpu_count()`, and unparsable or
+negative values warn and fall back to serial.
+
+Failure policy: a task's own exception always propagates, but
+pool-level failures (a crashed child, an unpicklable task, a missing
+`os.fork`) emit a `RuntimeWarning` plus a `parallel_fallback` event and
+re-run every task serially — parallelism is an optimisation, never a
+way to lose a run.
+
+Consumers already wired in: `AnECI.fit(..., workers=N)` fans out
+`n_init` restarts (the winner is re-materialised in the parent, and a
+per-restart `restart` event is emitted either way);
+`grid_search_aneci(..., workers=N)` fans out trials;
+`experiments.runners.run_*` sweeps parallelise their outer axis; the
+benchmark harness (`benchmarks/_harness.py`) opts in via
+`REPRO_WORKERS`.  The CLI exposes all of this through the global
+`--workers N` flag.
+
+Telemetry crosses the process boundary: each worker captures its
+`repro.obs` events, metrics and spans into a `ChildTelemetry` snapshot
+that the parent replays in task order, so `--trace`/`--profile` output
+is identical at any worker count.  Two things to know: the fit
+workspace cache is per-process, so every worker rebuilds (cheaply, by
+fingerprint) its own workspace; and nested parallelism is clamped —
+`resolve_workers` returns 1 inside a pool worker.
+
+```bash
+REPRO_WORKERS=4 python -m repro embed --method aneci --n-init 8 --out z.npy
+python -m repro --workers 4 experiment --name classification
+# tracked benchmark: serial vs parallel medians + equivalence hash
+PYTHONPATH=src python -m pytest benchmarks/test_perf_parallel.py -q
+python tools/bench_compare.py BENCH_parallel.json /tmp/BENCH_parallel.json
+```
 """,
 }
 
