@@ -26,6 +26,10 @@ table after the command finishes.
 else 1) fans the parallelisable layers — ``n_init`` restarts, grid
 trials, experiment sweep axes — over a process pool with deterministic
 merging, so any command's output is identical at any worker count.
+
+``--dtype {float32,float64}`` (default: the ``REPRO_DTYPE`` environment
+variable, else float64) selects the numeric precision of the training
+path for every model the command builds.
 """
 
 from __future__ import annotations
@@ -56,6 +60,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="process-pool workers for restarts/sweeps "
                              "(default: $REPRO_WORKERS, else 1; results "
                              "are identical at any worker count)")
+    parser.add_argument("--dtype", choices=["float32", "float64"],
+                        default=None,
+                        help="numeric precision of the training path "
+                             "(default: $REPRO_DTYPE, else float64)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list calibrated benchmark datasets")
@@ -358,6 +366,11 @@ def main(argv: list[str] | None = None) -> int:
         # (fit restarts, grid search, runners) without changing each
         # call signature on the way down.
         os.environ["REPRO_WORKERS"] = str(args.workers)
+    if args.dtype is not None:
+        # Same pattern as --workers: every AnECIConfig built downstream
+        # (including in worker processes) reads REPRO_DTYPE as its
+        # default precision.
+        os.environ["REPRO_DTYPE"] = args.dtype
     handler = {
         "datasets": cmd_datasets,
         "generate": cmd_generate,

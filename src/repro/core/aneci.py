@@ -12,6 +12,7 @@ community membership, ``L = −β₁·Q̃ + β₂·L_R`` (Eq. 18).
 from __future__ import annotations
 
 import numpy as np
+import scipy.sparse as sp
 
 from ..graph.graph import Graph, normalized_adjacency
 from ..nn import Adam, Tensor, functional as F, no_grad
@@ -55,6 +56,11 @@ class AnECI:
         self.encoder: GCNEncoder | None = None
         self.history: list[dict[str, float]] = []
         self._fitted_graph: Graph | None = None
+        #: Workspace of the last in-process fit; lets inference reuse the
+        #: cached normalised adjacency instead of rebuilding it per call.
+        self._fit_workspace: FitWorkspace | None = None
+        #: One-slot (graph, adj_norm) memo for inference on other graphs.
+        self._adj_norm_memo: tuple[Graph, object] | None = None
         #: Modularity of the state the encoder actually holds after a fit
         #: (the restored-best record under early stopping, the final
         #: record otherwise) — what restart selection ranks by.
@@ -159,9 +165,10 @@ class AnECI:
         rng = np.random.default_rng(cfg.seed + best["restart"])
         self.encoder = GCNEncoder(
             self.num_features, (*cfg.hidden_dims, cfg.num_communities),
-            rng=rng, dropout=cfg.dropout)
+            rng=rng, dropout=cfg.dropout, dtype=cfg.dtype)
         self.encoder.load_state_dict(best["state"])
         self._fitted_graph = graph
+        self._fit_workspace = None
         self.history = best["history"]
         self.selection_modularity = best["q"]
         return self
@@ -179,9 +186,10 @@ class AnECI:
                 f"model built for {self.num_features} features, graph has "
                 f"{graph.num_features}")
         rng = np.random.default_rng(seed)
+        dtype = np.dtype(cfg.dtype)
         self.encoder = GCNEncoder(
             self.num_features, (*cfg.hidden_dims, cfg.num_communities),
-            rng=rng, dropout=cfg.dropout)
+            rng=rng, dropout=cfg.dropout, dtype=dtype)
         self.history = []
         self._fitted_graph = graph
 
@@ -189,9 +197,12 @@ class AnECI:
             # Every epoch-invariant constant (normalised adjacency,
             # proximity, modularity terms, densified recon target) comes
             # from the content-addressed workspace cache, so restarts and
-            # unchanged-graph refits skip the whole rebuild.
+            # unchanged-graph refits skip the whole rebuild.  All of it —
+            # and the feature tensor — is held in the configured dtype so
+            # the entire epoch runs at one precision.
             workspace = get_workspace(graph, cfg)
-            features = Tensor(graph.features)
+            self._fit_workspace = workspace
+            features = Tensor(np.asarray(graph.features, dtype=dtype))
             optimizer = Adam(self.encoder.parameters(), lr=cfg.lr,
                              weight_decay=cfg.weight_decay)
 
@@ -279,11 +290,32 @@ class AnECI:
         if self.encoder is None:
             raise RuntimeError("call fit() before embed()")
         graph = graph or self._fitted_graph
-        adj_norm = normalized_adjacency(graph.adjacency)
+        adj_norm = self._inference_adj_norm(graph)
+        dtype = np.dtype(self.config.dtype)
         self.encoder.eval()
         with no_grad():
-            z = self.encoder(Tensor(graph.features), adj_norm)
+            z = self.encoder(
+                Tensor(np.asarray(graph.features, dtype=dtype)), adj_norm)
         return z.data.copy()
+
+    def _inference_adj_norm(self, graph: Graph) -> sp.csr_matrix:
+        """The normalised adjacency for inference on ``graph``.
+
+        For the graph the model was fitted on this is the fit
+        workspace's cached matrix — no rebuild; any other graph's
+        normalisation is memoised per graph object so repeated
+        ``embed``/``membership``/``assign_communities`` calls pay for it
+        once.
+        """
+        workspace = self._fit_workspace
+        if workspace is not None and graph is self._fitted_graph:
+            return workspace.adj_norm
+        memo = self._adj_norm_memo
+        if memo is not None and memo[0] is graph:
+            return memo[1]
+        adj_norm = normalized_adjacency(graph.adjacency)
+        self._adj_norm_memo = (graph, adj_norm)
+        return adj_norm
 
     def fit_transform(self, graph: Graph, callback=None,
                       workers: int | None = None) -> np.ndarray:
@@ -291,10 +323,7 @@ class AnECI:
 
     def membership(self, graph: Graph | None = None) -> np.ndarray:
         """Soft community membership ``P = softmax(Z)`` (Eq. 3)."""
-        z = self.embed(graph)
-        shifted = z - z.max(axis=1, keepdims=True)
-        exp = np.exp(shifted)
-        return exp / exp.sum(axis=1, keepdims=True)
+        return F.stable_softmax(self.embed(graph), axis=1)
 
     def assign_communities(self, graph: Graph | None = None) -> np.ndarray:
         """Hard community labels ``argmax_k pᵢᵏ`` (Section VI-D)."""

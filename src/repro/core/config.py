@@ -9,6 +9,7 @@ a plain dataclass so experiments can record the exact configuration used.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 __all__ = ["AnECIConfig", "TASK_EPOCHS"]
@@ -63,6 +64,12 @@ class AnECIConfig:
         ``"uniform"`` uses the paper's equal per-order weights (or
         ``proximity_weights`` when given); ``"katz"`` uses the geometric
         Katz weighting ``w_l = βˡ`` (Definition 3's cited family).
+    dtype:
+        Numeric precision of the training path: ``"float64"`` (the
+        default — bit-identical to the historical engine) or
+        ``"float32"`` (half the memory bandwidth, faster on large
+        graphs, metric parity within small tolerances).  The default is
+        taken from the ``REPRO_DTYPE`` environment variable when set.
     """
 
     num_communities: int
@@ -83,6 +90,8 @@ class AnECIConfig:
     recon_target: str = "high_order"
     proximity_kind: str = "uniform"
     katz_beta: float = 0.2
+    dtype: str = field(
+        default_factory=lambda: os.environ.get("REPRO_DTYPE", "float64"))
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -108,3 +117,5 @@ class AnECIConfig:
             raise ValueError("loss weights must be non-negative")
         if not 0.0 <= self.dropout < 1.0:
             raise ValueError("dropout must be in [0, 1)")
+        if self.dtype not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32' or 'float64'")

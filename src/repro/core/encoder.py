@@ -20,13 +20,13 @@ class GCNEncoder(Module):
 
     def __init__(self, num_features: int, dims: tuple[int, ...],
                  rng: np.random.Generator, dropout: float = 0.0,
-                 negative_slope: float = 0.01):
+                 negative_slope: float = 0.01, dtype=None):
         super().__init__()
         if not dims:
             raise ValueError("encoder needs at least one output dimension")
         self.negative_slope = negative_slope
         widths = [num_features, *dims]
-        self.convs = [GCNConv(widths[i], widths[i + 1], rng)
+        self.convs = [GCNConv(widths[i], widths[i + 1], rng, dtype=dtype)
                       for i in range(len(dims))]
         self.dropout = Dropout(dropout, rng) if dropout else None
 

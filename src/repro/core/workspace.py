@@ -38,16 +38,25 @@ from .modularity import modularity_loss_terms
 
 __all__ = [
     "FitWorkspace", "WorkspaceCache", "get_workspace", "workspace_cache",
-    "cache_disabled", "fit_fingerprint",
+    "cache_disabled", "fit_fingerprint", "dense_gather_cap",
+    "default_cache_size",
 ]
 
-#: Densify the reconstruction target eagerly only below this node count;
-#: above it the sampled path gathers blocks from the sparse matrix.  At
-#: the default cap a dense target tops out at ~128 MB of float64.
-_DENSE_GATHER_CAP = int(os.environ.get("REPRO_WORKSPACE_DENSE_CAP", "4096"))
+def dense_gather_cap() -> int:
+    """Densify the reconstruction target eagerly only below this node
+    count; above it the sampled path gathers blocks from the sparse
+    matrix.  At the default cap a dense target tops out at ~128 MB of
+    float64 (half that in float32).  Read from the environment on every
+    build so tests and long-lived processes can retune it."""
+    return int(os.environ.get("REPRO_WORKSPACE_DENSE_CAP", "4096"))
 
-#: Upper bound on cached workspaces (each can hold a dense N×N target).
-_DEFAULT_MAXSIZE = int(os.environ.get("REPRO_WORKSPACE_CACHE_SIZE", "4"))
+
+def default_cache_size() -> int:
+    """Upper bound on cached workspaces (each can hold a dense N×N
+    target); read from ``REPRO_WORKSPACE_CACHE_SIZE`` at cache
+    construction time."""
+    return int(os.environ.get("REPRO_WORKSPACE_CACHE_SIZE", "4"))
+
 
 _CACHE_ENABLED = True
 
@@ -68,7 +77,8 @@ def _config_knobs(config: AnECIConfig) -> tuple:
     weights = config.proximity_weights
     return (config.proximity_kind, config.order,
             None if weights is None else tuple(weights),
-            config.katz_beta, config.recon_target, config.recon_sample_size)
+            config.katz_beta, config.recon_target, config.recon_sample_size,
+            config.dtype)
 
 
 @dataclass
@@ -79,6 +89,13 @@ class FitWorkspace:
     ----------
     fingerprint:
         Content address this workspace was cached under.
+    dtype:
+        Numeric precision of the training-path constants (``adj_norm``,
+        ``prox``, ``degrees``, ``recon_target``, ``recon_dense``) —
+        follows ``config.dtype`` and is part of the cache key, so a
+        float32 and a float64 fit of the same graph hold separate
+        workspaces.  ``proximity`` always stays float64 (it is the
+        analysis-grade matrix AnECI+ denoising reads).
     adj_norm:
         GCN-normalised adjacency; its CSR transpose is pre-registered in
         the :func:`repro.nn.spmm` transpose cache.
@@ -105,6 +122,7 @@ class FitWorkspace:
     recon_target: sp.csr_matrix
     sample_nodes: int | None
     recon_dense: np.ndarray | None
+    dtype: np.dtype = np.dtype(np.float64)
 
     def dense_target(self) -> np.ndarray:
         """The full dense reconstruction target (full-graph path only)."""
@@ -129,8 +147,8 @@ def build_workspace(graph: Graph, config: AnECIConfig,
                     fingerprint: str = "") -> FitWorkspace:
     """Compute every epoch-invariant constant for ``(graph, config)``."""
     with trace.span("workspace/build"):
+        dtype = np.dtype(config.dtype)
         adj_norm = normalized_adjacency(graph.adjacency)
-        cached_transpose(adj_norm)  # pre-warm the spmm backward transpose
         if config.proximity_kind == "katz":
             proximity = katz_proximity(graph.adjacency, beta=config.katz_beta,
                                        order=config.order, self_loops=True)
@@ -139,15 +157,26 @@ def build_workspace(graph: Graph, config: AnECIConfig,
                                              order=config.order,
                                              weights=config.proximity_weights)
         prox, degrees, two_m = modularity_loss_terms(proximity)
-        cached_transpose(prox)
         if config.recon_target == "first_order":
             recon_target = high_order_proximity(graph.adjacency, order=1)
         else:
             recon_target = prox
+        if dtype != np.float64:
+            # Constants are always *computed* in float64 and rounded once
+            # here, so the float32 path trains against the same values
+            # (to rounding) rather than accumulating low-precision
+            # proximity powers.
+            adj_norm = adj_norm.astype(dtype)
+            shared = recon_target is prox
+            prox = prox.astype(dtype)
+            recon_target = prox if shared else recon_target.astype(dtype)
+            degrees = degrees.astype(dtype)
+        cached_transpose(adj_norm)  # pre-warm the spmm backward transposes
+        cached_transpose(prox)
         n = graph.num_nodes
         sample_nodes = (config.recon_sample_size
                         if n > config.recon_sample_size else None)
-        if sample_nodes is None or n <= _DENSE_GATHER_CAP:
+        if sample_nodes is None or n <= dense_gather_cap():
             recon_dense = recon_target.toarray()
         else:
             recon_dense = None
@@ -155,14 +184,14 @@ def build_workspace(graph: Graph, config: AnECIConfig,
             fingerprint=fingerprint, num_nodes=n, adj_norm=adj_norm,
             proximity=proximity, prox=prox, degrees=degrees, two_m=two_m,
             recon_target=recon_target, sample_nodes=sample_nodes,
-            recon_dense=recon_dense)
+            recon_dense=recon_dense, dtype=dtype)
 
 
 class WorkspaceCache:
     """Bounded LRU of :class:`FitWorkspace` keyed by content fingerprint."""
 
     def __init__(self, maxsize: int | None = None):
-        self.maxsize = _DEFAULT_MAXSIZE if maxsize is None else int(maxsize)
+        self.maxsize = default_cache_size() if maxsize is None else int(maxsize)
         if self.maxsize < 1:
             raise ValueError("cache needs room for at least one workspace")
         self._entries: OrderedDict[str, FitWorkspace] = OrderedDict()

@@ -29,9 +29,51 @@ import scipy.sparse as sp
 __all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "spmm",
            "fused_bce_with_logits", "cached_transpose",
            "transpose_cache_size", "clear_transpose_cache",
-           "transpose_cache_disabled", "legacy_graph_cycles"]
+           "transpose_cache_disabled", "legacy_graph_cycles",
+           "resolve_dtype", "get_default_dtype", "default_dtype",
+           "stable_softmax", "dtype_matched_csr"]
 
 _GRAD_ENABLED = True
+
+#: Dtypes the engine is parameterised over.  Everything that is not one
+#: of these (ints, bools, python lists) is coerced to the default dtype
+#: on entry; arrays already in a supported dtype keep it, so every op
+#: preserves the dtype of its inputs.
+_SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def resolve_dtype(spec) -> np.dtype:
+    """Normalise a dtype spec (``"float32"``, ``np.float64``, …) and
+    validate it is one the engine supports."""
+    dtype = np.dtype(spec)
+    if dtype not in _SUPPORTED_DTYPES:
+        raise ValueError(
+            f"unsupported dtype {dtype}; expected float32 or float64")
+    return dtype
+
+
+def get_default_dtype() -> np.dtype:
+    """Dtype non-float payloads are coerced to (float64 unless changed)."""
+    return _DEFAULT_DTYPE
+
+
+@contextlib.contextmanager
+def default_dtype(spec):
+    """Run the block with a different coercion/initialisation dtype.
+
+    Affects payloads that carry no float dtype of their own (python
+    scalars, lists, integer arrays) and the :mod:`repro.nn.init`
+    initialisers; float32/float64 arrays always keep their dtype.
+    """
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(spec)
+    try:
+        yield
+    finally:
+        _DEFAULT_DTYPE = previous
 
 #: See :func:`legacy_graph_cycles`.
 _LEGACY_CYCLES = False
@@ -71,13 +113,39 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(value) -> np.ndarray:
-    """Coerce ``value`` to a float64 numpy array without copying if possible."""
-    if isinstance(value, np.ndarray):
-        if value.dtype == np.float64:
+def _as_array(value, dtype: np.dtype | None = None) -> np.ndarray:
+    """Coerce ``value`` to a float numpy array without copying if possible.
+
+    With an explicit ``dtype`` the result is cast to it.  Otherwise
+    arrays already in a supported float dtype are returned as-is (ops
+    preserve their inputs' precision) and everything else is coerced to
+    the default dtype.
+    """
+    if dtype is not None:
+        if isinstance(value, np.ndarray) and value.dtype == dtype:
             return value
-        return value.astype(np.float64)
-    return np.asarray(value, dtype=np.float64)
+        return np.asarray(value, dtype=dtype)
+    if isinstance(value, (np.ndarray, np.floating)):
+        # Arrays *and* numpy float scalars (e.g. the 0-d result of
+        # ``arr.sum()``) keep their precision — coercing a float32
+        # reduction to the default dtype would silently promote the
+        # loss chain.
+        if value.dtype in _SUPPORTED_DTYPES:
+            return np.asarray(value)
+        return np.asarray(value, dtype=_DEFAULT_DTYPE)
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+
+
+def stable_softmax(values: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Max-shifted softmax of a plain numpy array, preserving its dtype.
+
+    The single softmax implementation shared by :meth:`Tensor.softmax`
+    (the differentiable path) and numpy-side consumers such as
+    :meth:`repro.core.AnECI.membership` — both see bit-identical values.
+    """
+    shifted = values - values.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -100,15 +168,20 @@ class Tensor:
     Parameters
     ----------
     data:
-        Array-like payload; always stored as ``float64``.
+        Array-like payload.  Stored as float32 or float64: arrays keep
+        their float dtype, anything else is coerced to the default dtype
+        (float64), and an explicit ``dtype`` forces a cast.
     requires_grad:
         Whether gradients should be accumulated for this tensor.
+    dtype:
+        Optional explicit storage dtype (``"float32"`` or ``"float64"``).
     """
 
     __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents")
 
-    def __init__(self, data, requires_grad: bool = False):
-        self.data = _as_array(data)
+    def __init__(self, data, requires_grad: bool = False, dtype=None):
+        self.data = _as_array(
+            data, None if dtype is None else resolve_dtype(dtype))
         self.grad: np.ndarray | None = None
         self.requires_grad = bool(requires_grad)
         self._backward: Callable[[np.ndarray], None] | None = None
@@ -128,6 +201,21 @@ class Tensor:
     @property
     def size(self) -> int:
         return self.data.size
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self.data.dtype
+
+    def astype(self, dtype) -> "Tensor":
+        """Differentiable dtype cast (the gradient is cast back)."""
+        dtype = resolve_dtype(dtype)
+        if self.data.dtype == dtype:
+            return self
+
+        def backward(g):
+            self._accumulate(g.astype(self.data.dtype), owned=True)
+
+        return Tensor._make(self.data.astype(dtype), (self,), backward)
 
     @property
     def T(self) -> "Tensor":
@@ -179,15 +267,30 @@ class Tensor:
                 out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
-        """Add ``grad`` into this tensor's gradient buffer."""
+    def _accumulate(self, grad: np.ndarray, owned: bool = False) -> None:
+        """Add ``grad`` into this tensor's gradient buffer.
+
+        ``owned=True`` promises that ``grad`` is a freshly computed array
+        no one else references, letting the first accumulation adopt it
+        instead of copying — the in-place ``+=`` fast path used by every
+        closure that builds its gradient from scratch.  Closures passing
+        through the upstream buffer (add, reshape views, broadcasts)
+        leave it False and keep the defensive copy.
+        """
         if not self.requires_grad:
             return
-        grad = _unbroadcast(grad, self.data.shape)
+        out = _unbroadcast(grad, self.data.shape)
+        if out is not grad:
+            # _unbroadcast only returns a different object after summing
+            # into a fresh array, so the result is ours to keep.
+            owned = True
+        if out.dtype != self.data.dtype:
+            out = out.astype(self.data.dtype)
+            owned = True
         if self.grad is None:
-            self.grad = grad.copy()
+            self.grad = out if owned else out.copy()
         else:
-            self.grad += grad
+            self.grad += out
 
     def backward(self, grad: np.ndarray | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph."""
@@ -197,7 +300,7 @@ class Tensor:
                     "backward() without an explicit gradient requires a "
                     f"scalar tensor, got shape {self.data.shape}")
             grad = np.ones_like(self.data)
-        self.grad = _as_array(grad).reshape(self.data.shape)
+        self.grad = _as_array(grad, self.data.dtype).reshape(self.data.shape)
 
         order: list[Tensor] = []
         seen: set[int] = set()
@@ -226,7 +329,7 @@ class Tensor:
     # Elementwise arithmetic                                             #
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other = _ensure_tensor(other)
+        other = _ensure_tensor(other, self.data.dtype)
 
         def backward(g):
             self._accumulate(g)
@@ -238,51 +341,52 @@ class Tensor:
 
     def __neg__(self) -> "Tensor":
         def backward(g):
-            self._accumulate(-g)
+            self._accumulate(-g, owned=True)
 
         return Tensor._make(-self.data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        other = _ensure_tensor(other)
+        other = _ensure_tensor(other, self.data.dtype)
 
         def backward(g):
             self._accumulate(g)
-            other._accumulate(-g)
+            other._accumulate(-g, owned=True)
 
         return Tensor._make(self.data - other.data, (self, other), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return _ensure_tensor(other) - self
+        return _ensure_tensor(other, self.data.dtype) - self
 
     def __mul__(self, other) -> "Tensor":
-        other = _ensure_tensor(other)
+        other = _ensure_tensor(other, self.data.dtype)
 
         def backward(g):
-            self._accumulate(g * other.data)
-            other._accumulate(g * self.data)
+            self._accumulate(g * other.data, owned=True)
+            other._accumulate(g * self.data, owned=True)
 
         return Tensor._make(self.data * other.data, (self, other), backward)
 
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other = _ensure_tensor(other)
+        other = _ensure_tensor(other, self.data.dtype)
 
         def backward(g):
-            self._accumulate(g / other.data)
-            other._accumulate(-g * self.data / (other.data ** 2))
+            self._accumulate(g / other.data, owned=True)
+            other._accumulate(-g * self.data / (other.data ** 2), owned=True)
 
         return Tensor._make(self.data / other.data, (self, other), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return _ensure_tensor(other) / self
+        return _ensure_tensor(other, self.data.dtype) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if not isinstance(exponent, (int, float)):
             raise TypeError("only scalar exponents are supported")
 
         def backward(g):
-            self._accumulate(g * exponent * self.data ** (exponent - 1))
+            self._accumulate(g * exponent * self.data ** (exponent - 1),
+                             owned=True)
 
         return Tensor._make(self.data ** exponent, (self,), backward)
 
@@ -290,11 +394,11 @@ class Tensor:
     # Linear algebra                                                     #
     # ------------------------------------------------------------------ #
     def matmul(self, other: "Tensor") -> "Tensor":
-        other = _ensure_tensor(other)
+        other = _ensure_tensor(other, self.data.dtype)
 
         def backward(g):
-            self._accumulate(g @ other.data.T)
-            other._accumulate(self.data.T @ g)
+            self._accumulate(g @ other.data.T, owned=True)
+            other._accumulate(self.data.T @ g, owned=True)
 
         return Tensor._make(self.data @ other.data, (self, other), backward)
 
@@ -320,7 +424,7 @@ class Tensor:
         def backward(g):
             full = np.zeros_like(self.data)
             np.add.at(full, index, g)
-            self._accumulate(full)
+            self._accumulate(full, owned=True)
 
         return Tensor._make(self.data[index], (self,), backward)
 
@@ -354,7 +458,7 @@ class Tensor:
         n = self.data.shape[0]
 
         def backward(g):
-            self._accumulate(np.eye(n) * g)
+            self._accumulate(np.eye(n, dtype=g.dtype) * g, owned=True)
 
         return Tensor._make(np.trace(self.data), (self,), backward)
 
@@ -365,13 +469,13 @@ class Tensor:
         value = np.exp(self.data)
 
         def backward(g):
-            self._accumulate(g * value)
+            self._accumulate(g * value, owned=True)
 
         return Tensor._make(value, (self,), backward)
 
     def log(self) -> "Tensor":
         def backward(g):
-            self._accumulate(g / self.data)
+            self._accumulate(g / self.data, owned=True)
 
         return Tensor._make(np.log(self.data), (self,), backward)
 
@@ -379,13 +483,13 @@ class Tensor:
         value = np.sqrt(self.data)
 
         def backward(g):
-            self._accumulate(g * 0.5 / value)
+            self._accumulate(g * 0.5 / value, owned=True)
 
         return Tensor._make(value, (self,), backward)
 
     def abs(self) -> "Tensor":
         def backward(g):
-            self._accumulate(g * np.sign(self.data))
+            self._accumulate(g * np.sign(self.data), owned=True)
 
         return Tensor._make(np.abs(self.data), (self,), backward)
 
@@ -393,7 +497,7 @@ class Tensor:
         mask = (self.data >= low) & (self.data <= high)
 
         def backward(g):
-            self._accumulate(g * mask)
+            self._accumulate(g * mask, owned=True)
 
         return Tensor._make(np.clip(self.data, low, high), (self,), backward)
 
@@ -405,7 +509,7 @@ class Tensor:
                          (1.0 + np.exp(np.clip(self.data, -500, 500))))
 
         def backward(g):
-            self._accumulate(g * value * (1.0 - value))
+            self._accumulate(g * value * (1.0 - value), owned=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -413,7 +517,7 @@ class Tensor:
         value = np.tanh(self.data)
 
         def backward(g):
-            self._accumulate(g * (1.0 - value ** 2))
+            self._accumulate(g * (1.0 - value ** 2), owned=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -421,27 +525,29 @@ class Tensor:
         mask = self.data > 0
 
         def backward(g):
-            self._accumulate(g * mask)
+            self._accumulate(g * mask, owned=True)
 
         return Tensor._make(self.data * mask, (self,), backward)
 
     def leaky_relu(self, negative_slope: float = 0.01) -> "Tensor":
         mask = self.data > 0
-        scale = np.where(mask, 1.0, negative_slope)
+        # Build the scale array in this tensor's dtype: python-float
+        # branches would make np.where return float64 and silently
+        # promote a float32 activation chain.
+        one = self.data.dtype.type(1.0)
+        scale = np.where(mask, one, self.data.dtype.type(negative_slope))
 
         def backward(g):
-            self._accumulate(g * scale)
+            self._accumulate(g * scale, owned=True)
 
         return Tensor._make(self.data * scale, (self,), backward)
 
     def softmax(self, axis: int = -1) -> "Tensor":
-        shifted = self.data - self.data.max(axis=axis, keepdims=True)
-        exp = np.exp(shifted)
-        value = exp / exp.sum(axis=axis, keepdims=True)
+        value = stable_softmax(self.data, axis=axis)
 
         def backward(g):
             dot = (g * value).sum(axis=axis, keepdims=True)
-            self._accumulate(value * (g - dot))
+            self._accumulate(value * (g - dot), owned=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -452,7 +558,8 @@ class Tensor:
         softmax = np.exp(value)
 
         def backward(g):
-            self._accumulate(g - softmax * g.sum(axis=axis, keepdims=True))
+            self._accumulate(g - softmax * g.sum(axis=axis, keepdims=True),
+                             owned=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -465,9 +572,14 @@ class Tensor:
         return self / norm.sqrt()
 
 
-def _ensure_tensor(value) -> Tensor:
+def _ensure_tensor(value, dtype: np.dtype | None = None) -> Tensor:
+    """Wrap ``value`` as a Tensor; scalars and non-float payloads take
+    the peer's ``dtype`` so mixed expressions keep the operand precision."""
     if isinstance(value, Tensor):
         return value
+    if dtype is not None and not (isinstance(value, np.ndarray)
+                                  and value.dtype in _SUPPORTED_DTYPES):
+        return Tensor(value, dtype=dtype)
     return Tensor(value)
 
 
@@ -522,14 +634,36 @@ def cached_transpose(matrix: sp.spmatrix) -> sp.csr_matrix:
     return transpose
 
 
+#: Dtype-converted CSR copies keyed by ``(id(matrix), dtype)``, so a
+#: float64 constant (the usual on-disk/graph representation) multiplied
+#: into a float32 computation is cast exactly once instead of per call.
+#: Evicted alongside the transpose cache by ``weakref.finalize``.
+_DTYPE_CSR_CACHE: dict[tuple[int, str], sp.csr_matrix] = {}
+
+
+def dtype_matched_csr(matrix: sp.csr_matrix, dtype: np.dtype) -> sp.csr_matrix:
+    """Return ``matrix`` cast to ``dtype``, computed once per matrix object."""
+    if matrix.dtype == dtype:
+        return matrix
+    key = (id(matrix), dtype.str)
+    cast = _DTYPE_CSR_CACHE.get(key)
+    if cast is None:
+        cast = matrix.astype(dtype)
+        _DTYPE_CSR_CACHE[key] = cast
+        weakref.finalize(matrix, _DTYPE_CSR_CACHE.pop, key, None)
+    return cast
+
+
 def transpose_cache_size() -> int:
     """Number of live entries in the ``spmm`` transpose cache."""
     return len(_TRANSPOSE_CACHE)
 
 
 def clear_transpose_cache() -> None:
-    """Drop every cached transpose (entries rebuild lazily)."""
+    """Drop every cached transpose and dtype-cast copy (they rebuild
+    lazily)."""
     _TRANSPOSE_CACHE.clear()
+    _DTYPE_CSR_CACHE.clear()
 
 
 _TRANSPOSE_CACHE_ENABLED = True
@@ -559,11 +693,15 @@ def spmm(matrix: sp.spmatrix, x: Tensor,
     ``matrix.T @ grad`` into ``x``.  This is the workhorse of every graph
     convolution in the library.  The CSR transpose used by the backward
     pass is cached per matrix object (see :func:`cached_transpose`); pass
-    ``transpose`` explicitly to override it.
+    ``transpose`` explicitly to override it.  When the matrix dtype does
+    not match ``x``'s, a dtype-matched CSR copy is used (cached per
+    matrix object) so the product stays in ``x``'s precision.
     """
     if not sp.issparse(matrix):
         raise TypeError("spmm expects a scipy sparse matrix")
     matrix = matrix.tocsr()
+    if matrix.dtype != x.data.dtype and x.data.dtype in _SUPPORTED_DTYPES:
+        matrix = dtype_matched_csr(matrix, x.data.dtype)
     if transpose is None:
         if _TRANSPOSE_CACHE_ENABLED:
             transpose = cached_transpose(matrix)
@@ -571,7 +709,7 @@ def spmm(matrix: sp.spmatrix, x: Tensor,
             transpose = matrix.T.tocsr()
 
     def backward(g):
-        x._accumulate(transpose @ g)
+        x._accumulate(transpose @ g, owned=True)
 
     return Tensor._make(matrix @ x.data, (x,), backward)
 
@@ -596,8 +734,10 @@ def fused_bce_with_logits(logits: Tensor, target: np.ndarray | Tensor,
     """
     x = logits.data
     t = target.data if isinstance(target, Tensor) else np.asarray(target)
+    if t.dtype != x.dtype:
+        t = t.astype(x.dtype)
     if weights is not None:
-        weights = np.asarray(weights, dtype=np.float64)
+        weights = np.asarray(weights, dtype=x.dtype)
     mask = x > 0
     exp_neg_abs = np.exp(-np.abs(x))
     denom = exp_neg_abs + 1.0
@@ -627,6 +767,6 @@ def fused_bce_with_logits(logits: Tensor, target: np.ndarray | Tensor,
         grad = upstream * mask
         grad = grad + (-upstream) * t
         grad = grad + (-(dv * exp_neg_abs)) * np.sign(x)
-        logits._accumulate(grad)
+        logits._accumulate(grad, owned=True)
 
     return Tensor._make(value, (logits,), backward)

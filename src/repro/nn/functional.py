@@ -6,7 +6,7 @@ import contextlib
 
 import numpy as np
 
-from .autograd import Tensor, fused_bce_with_logits
+from .autograd import Tensor, fused_bce_with_logits, stable_softmax
 
 __all__ = [
     "binary_cross_entropy",
@@ -17,6 +17,7 @@ __all__ = [
     "weighted_binary_cross_entropy_with_logits",
     "fused_loss_kernels_enabled",
     "reference_loss_kernels",
+    "stable_softmax",
 ]
 
 _EPS = 1e-10
@@ -82,7 +83,8 @@ def weighted_binary_cross_entropy_with_logits(
     if _USE_FUSED:
         return fused_bce_with_logits(logits, target, weights=weights,
                                      reduction=reduction)
-    loss = _composed_bce_with_logits(logits, target) * Tensor(weights)
+    loss = (_composed_bce_with_logits(logits, target)
+            * Tensor(weights.astype(logits.data.dtype, copy=False)))
     return _reduce(loss, reduction)
 
 

@@ -1,12 +1,18 @@
 """Parameter initialisers.
 
 All initialisers take an explicit ``numpy.random.Generator`` so every model
-in the library is reproducible from a single seed.
+in the library is reproducible from a single seed.  Random draws always
+happen in float64 (so a float32 model is initialised with the *same*
+stream of values as its float64 twin, merely rounded) and are then cast
+to ``dtype`` — by default the engine's default dtype, see
+:func:`repro.nn.autograd.get_default_dtype`.
 """
 
 from __future__ import annotations
 
 import numpy as np
+
+from .autograd import get_default_dtype, resolve_dtype
 
 __all__ = [
     "glorot_uniform",
@@ -18,36 +24,49 @@ __all__ = [
 ]
 
 
-def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def _resolve(dtype) -> np.dtype:
+    return get_default_dtype() if dtype is None else resolve_dtype(dtype)
+
+
+def glorot_uniform(shape: tuple[int, ...], rng: np.random.Generator,
+                   dtype=None) -> np.ndarray:
     """Glorot/Xavier uniform initialisation, the GCN paper's default."""
     fan_in, fan_out = _fans(shape)
     limit = np.sqrt(6.0 / (fan_in + fan_out))
-    return rng.uniform(-limit, limit, size=shape)
+    return rng.uniform(-limit, limit, size=shape).astype(_resolve(dtype),
+                                                         copy=False)
 
 
-def glorot_normal(shape: tuple[int, ...], rng: np.random.Generator) -> np.ndarray:
+def glorot_normal(shape: tuple[int, ...], rng: np.random.Generator,
+                  dtype=None) -> np.ndarray:
     """Glorot/Xavier normal initialisation."""
     fan_in, fan_out = _fans(shape)
     std = np.sqrt(2.0 / (fan_in + fan_out))
-    return rng.normal(0.0, std, size=shape)
+    return rng.normal(0.0, std, size=shape).astype(_resolve(dtype),
+                                                   copy=False)
 
 
 def uniform(shape: tuple[int, ...], rng: np.random.Generator,
-            low: float = -0.05, high: float = 0.05) -> np.ndarray:
-    return rng.uniform(low, high, size=shape)
+            low: float = -0.05, high: float = 0.05,
+            dtype=None) -> np.ndarray:
+    return rng.uniform(low, high, size=shape).astype(_resolve(dtype),
+                                                     copy=False)
 
 
 def normal(shape: tuple[int, ...], rng: np.random.Generator,
-           std: float = 0.01) -> np.ndarray:
-    return rng.normal(0.0, std, size=shape)
+           std: float = 0.01, dtype=None) -> np.ndarray:
+    return rng.normal(0.0, std, size=shape).astype(_resolve(dtype),
+                                                   copy=False)
 
 
-def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
-    return np.zeros(shape)
+def zeros(shape: tuple[int, ...], rng: np.random.Generator | None = None,
+          dtype=None) -> np.ndarray:
+    return np.zeros(shape, dtype=_resolve(dtype))
 
 
-def ones(shape: tuple[int, ...], rng: np.random.Generator | None = None) -> np.ndarray:
-    return np.ones(shape)
+def ones(shape: tuple[int, ...], rng: np.random.Generator | None = None,
+         dtype=None) -> np.ndarray:
+    return np.ones(shape, dtype=_resolve(dtype))
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:

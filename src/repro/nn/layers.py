@@ -102,12 +102,14 @@ class Linear(Module):
     """Affine map ``y = x W + b``."""
 
     def __init__(self, in_features: int, out_features: int,
-                 rng: np.random.Generator, bias: bool = True):
+                 rng: np.random.Generator, bias: bool = True, dtype=None):
         super().__init__()
         self.in_features = in_features
         self.out_features = out_features
-        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
-        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self.weight = Parameter(
+            init.glorot_uniform((in_features, out_features), rng, dtype=dtype))
+        self.bias = (Parameter(init.zeros((out_features,), dtype=dtype))
+                     if bias else None)
 
     def forward(self, x: Tensor) -> Tensor:
         out = x @ self.weight
@@ -125,10 +127,12 @@ class GCNConv(Module):
     """
 
     def __init__(self, in_features: int, out_features: int,
-                 rng: np.random.Generator, bias: bool = False):
+                 rng: np.random.Generator, bias: bool = False, dtype=None):
         super().__init__()
-        self.weight = Parameter(init.glorot_uniform((in_features, out_features), rng))
-        self.bias = Parameter(init.zeros((out_features,))) if bias else None
+        self.weight = Parameter(
+            init.glorot_uniform((in_features, out_features), rng, dtype=dtype))
+        self.bias = (Parameter(init.zeros((out_features,), dtype=dtype))
+                     if bias else None)
 
     def forward(self, x: Tensor, adj_norm: sp.spmatrix) -> Tensor:
         support = x @ self.weight
@@ -141,9 +145,10 @@ class GCNConv(Module):
 class Bilinear(Module):
     """Bilinear scoring ``s(x, y) = x W yᵀ`` used by DGI's discriminator."""
 
-    def __init__(self, features: int, rng: np.random.Generator):
+    def __init__(self, features: int, rng: np.random.Generator, dtype=None):
         super().__init__()
-        self.weight = Parameter(init.glorot_uniform((features, features), rng))
+        self.weight = Parameter(
+            init.glorot_uniform((features, features), rng, dtype=dtype))
 
     def forward(self, x: Tensor, y: Tensor) -> Tensor:
         return (x @ self.weight) * y
@@ -163,7 +168,7 @@ class Dropout(Module):
         if not self.training or self.p == 0.0:
             return x
         mask = (self.rng.random(x.shape) >= self.p) / (1.0 - self.p)
-        return x * Tensor(mask)
+        return x * Tensor(mask.astype(x.data.dtype, copy=False))
 
 
 class Sequential(Module):

@@ -1,4 +1,15 @@
-"""First-order optimisers: SGD (with momentum) and Adam."""
+"""First-order optimisers: SGD (with momentum) and Adam.
+
+Both step paths are allocation-lean: every temporary an update needs is
+written into scratch buffers preallocated per parameter (``np.multiply``/
+``np.divide``/``np.sqrt`` with ``out=``), so a training step performs no
+array allocations at all once the optimiser is constructed.  The kernels
+compute exactly the expressions of the classic formulations — only
+commutations and in-place evaluation orders that are bit-identical under
+IEEE-754 — so histories match the historical allocating implementation
+bit for bit.  All state (moments, velocity, scratch) follows each
+parameter's dtype.
+"""
 
 from __future__ import annotations
 
@@ -20,6 +31,10 @@ class Optimizer:
             raise ValueError("learning rate must be positive")
         self.lr = lr
         self.weight_decay = weight_decay
+        #: Scratch for the weight-decayed gradient, allocated only when
+        #: weight decay is active (the plain path reads ``p.grad`` directly).
+        self._gbuf = ([np.empty_like(p.data) for p in self.params]
+                      if weight_decay else None)
 
     def zero_grad(self) -> None:
         for p in self.params:
@@ -29,9 +44,25 @@ class Optimizer:
         raise NotImplementedError
 
     def _grad(self, p: Tensor) -> np.ndarray:
+        """Allocating effective gradient (kept for external callers)."""
         grad = p.grad if p.grad is not None else np.zeros_like(p.data)
         if self.weight_decay:
             grad = grad + self.weight_decay * p.data
+        return grad
+
+    def _effective_grad(self, i: int, p: Tensor) -> np.ndarray:
+        """The gradient the update should consume, allocation-free.
+
+        With weight decay the decayed gradient is assembled in the
+        per-parameter scratch buffer; without it the raw ``p.grad`` array
+        is returned untouched (callers must not mutate it).
+        """
+        grad = p.grad if p.grad is not None else np.zeros_like(p.data)
+        if self.weight_decay:
+            buf = self._gbuf[i]
+            np.multiply(p.data, self.weight_decay, out=buf)
+            buf += grad
+            return buf
         return grad
 
 
@@ -43,15 +74,19 @@ class SGD(Optimizer):
         super().__init__(params, lr, weight_decay)
         self.momentum = momentum
         self._velocity = [np.zeros_like(p.data) for p in self.params]
+        self._buf = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
-        for p, v in zip(self.params, self._velocity):
-            grad = self._grad(p)
+        for i, p in enumerate(self.params):
+            grad = self._effective_grad(i, p)
             if self.momentum:
+                v = self._velocity[i]
                 v *= self.momentum
                 v += grad
                 grad = v
-            p.data -= self.lr * grad
+            buf = self._buf[i]
+            np.multiply(grad, self.lr, out=buf)
+            p.data -= buf
 
 
 class Adam(Optimizer):
@@ -65,17 +100,30 @@ class Adam(Optimizer):
         self._step = 0
         self._m = [np.zeros_like(p.data) for p in self.params]
         self._v = [np.zeros_like(p.data) for p in self.params]
+        # Two scratch buffers per parameter cover every temporary of the
+        # update: t holds (1-β)·g, g², m̂ and the final step; u holds v̂.
+        self._t = [np.empty_like(p.data) for p in self.params]
+        self._u = [np.empty_like(p.data) for p in self.params]
 
     def step(self) -> None:
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
-        for p, m, v in zip(self.params, self._m, self._v):
-            grad = self._grad(p)
+        for i, p in enumerate(self.params):
+            grad = self._effective_grad(i, p)
+            m, v = self._m[i], self._v[i]
+            t, u = self._t[i], self._u[i]
             m *= self.beta1
-            m += (1.0 - self.beta1) * grad
+            np.multiply(grad, 1.0 - self.beta1, out=t)
+            m += t
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad ** 2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            p.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            np.multiply(grad, grad, out=t)
+            t *= 1.0 - self.beta2
+            v += t
+            np.divide(v, bias2, out=u)       # v̂
+            np.sqrt(u, out=u)
+            u += self.eps
+            np.divide(m, bias1, out=t)       # m̂
+            t *= self.lr
+            t /= u
+            p.data -= t

@@ -24,7 +24,8 @@ may instrument itself without creating import cycles.
 
 from . import events, metrics, profile, trace
 from .events import EventBus, JsonlSink, MemorySink, emit
-from .metrics import Counter, Gauge, MetricsRegistry, Timer, registry
+from .metrics import (Counter, Gauge, MetricsRegistry, Timer, registry,
+                      track_peak_memory)
 from .profile import OpProfiler, profile_ops
 from .trace import Tracer, span
 
@@ -32,6 +33,7 @@ __all__ = [
     "events", "metrics", "trace", "profile",
     "EventBus", "JsonlSink", "MemorySink", "emit",
     "MetricsRegistry", "Counter", "Gauge", "Timer", "registry",
+    "track_peak_memory",
     "Tracer", "span",
     "OpProfiler", "profile_ops",
 ]

@@ -10,8 +10,10 @@ from __future__ import annotations
 
 import contextlib
 import time
+import tracemalloc
 
-__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "registry"]
+__all__ = ["Counter", "Gauge", "Timer", "MetricsRegistry", "registry",
+           "track_peak_memory"]
 
 
 class Counter:
@@ -159,3 +161,31 @@ _REGISTRY = MetricsRegistry()
 def registry() -> MetricsRegistry:
     """The process-wide default registry."""
     return _REGISTRY
+
+
+@contextlib.contextmanager
+def track_peak_memory(label: str = "memory"):
+    """Record the block's peak traced allocation into the registry.
+
+    On exit the registry holds two gauges: ``<label>.peak_bytes`` (the
+    high-water mark of Python-level allocations inside the block,
+    numpy array buffers included) and ``<label>.alloc_bytes`` (net
+    allocation across the block).  Uses :mod:`tracemalloc`; when tracing
+    is not already running it is started for the duration of the block
+    and stopped afterwards, so the instrumentation has no cost outside
+    the block.
+    """
+    started_here = not tracemalloc.is_tracing()
+    if started_here:
+        tracemalloc.start()
+    before, _ = tracemalloc.get_traced_memory()
+    tracemalloc.reset_peak()
+    try:
+        yield
+    finally:
+        current, peak = tracemalloc.get_traced_memory()
+        if started_here:
+            tracemalloc.stop()
+        reg = registry()
+        reg.gauge(f"{label}.peak_bytes").set(max(peak - before, 0))
+        reg.gauge(f"{label}.alloc_bytes").set(current - before)

@@ -162,3 +162,51 @@ def test_property_hard_equals_soft_onehot(seed):
     q_hard = newman_modularity(g.adjacency, labels)
     q_soft = soft_modularity(g.adjacency, one_hot(labels, 3))
     assert q_soft == pytest.approx(q_hard, abs=1e-10)
+
+
+def _loop_newman_modularity(adjacency, labels):
+    """The pre-vectorisation implementation: per-community ``np.ix_`` slices.
+
+    Kept verbatim as the reference for the single-COO-pass rewrite.
+    """
+    adj = sp.csr_matrix(adjacency, dtype=np.float64)
+    labels = np.asarray(labels)
+    degrees = np.asarray(adj.sum(axis=1)).ravel()
+    two_m = degrees.sum()
+    if two_m == 0:
+        return 0.0
+    q = 0.0
+    for c in np.unique(labels):
+        members = np.flatnonzero(labels == c)
+        internal = adj[np.ix_(members, members)].sum()
+        degree_sum = degrees[members].sum()
+        q += internal / two_m - (degree_sum / two_m) ** 2
+    return float(q)
+
+
+class TestNewmanVectorisation:
+    """The COO bincount rewrite must agree with the per-community loop."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_random_partitions_match_loop(self, seed):
+        rng = np.random.default_rng(seed)
+        g = planted_partition(3, 10, 0.5, 0.1, rng)
+        labels = rng.integers(0, 5, size=g.num_nodes)
+        assert newman_modularity(g.adjacency, labels) == pytest.approx(
+            _loop_newman_modularity(g.adjacency, labels), abs=1e-12)
+
+    def test_weighted_and_noncontiguous_labels(self):
+        rng = np.random.default_rng(11)
+        dense = rng.random((20, 20))
+        dense = np.triu(dense, 1)
+        dense = dense + dense.T
+        dense[dense < 0.6] = 0.0
+        adj = sp.csr_matrix(dense)
+        labels = rng.choice([-3, 7, 40], size=20)
+        assert newman_modularity(adj, labels) == pytest.approx(
+            _loop_newman_modularity(adj, labels), abs=1e-12)
+
+    def test_empty_graph_is_zero(self):
+        adj = sp.csr_matrix((6, 6))
+        assert newman_modularity(adj, np.zeros(6, dtype=int)) == 0.0

@@ -69,7 +69,8 @@ class TestDropRatioMechanics:
         plus.fit(graph)
         p = plus.membership()
         assert p.shape == (graph.num_nodes, graph.num_classes)
-        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=1e-9)
+        atol = 1e-9 if p.dtype == np.float64 else 1e-6
+        np.testing.assert_allclose(p.sum(axis=1), 1.0, atol=atol)
         communities = plus.assign_communities()
         assert communities.shape == (graph.num_nodes,)
         scores = plus.anomaly_scores()

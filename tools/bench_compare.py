@@ -2,11 +2,12 @@
 
 Diffs the per-case timing of every case shared by a baseline and a
 current result file and fails when any case slowed down by more than
-``--threshold``.  Works on both tracked benchmark formats:
+``--threshold``.  Works on every tracked benchmark format:
 ``BENCH_train.json`` (``benchmarks/test_perf_training.py``, timing key
-``after_s``) and ``BENCH_parallel.json``
+``after_s``), ``BENCH_parallel.json``
 (``benchmarks/test_perf_parallel.py``, same key — the best parallel
-median).
+median) and ``BENCH_dtype.json`` (``benchmarks/test_perf_dtype.py``,
+``after_s`` = the float32 median).
 
 A missing baseline, or a baseline written by a smoke run (``"smoke":
 true``), is not an error: CI compares against artifacts that may not
