@@ -27,9 +27,15 @@ def __getattr__(name):
     if name in {"ParallelExecutor", "parallel_map", "resolve_workers"}:
         from . import parallel
         return getattr(parallel, name)
+    if name in {"CheckpointManager", "CheckpointError", "DivergenceError",
+                "DivergenceGuard", "RecoveryPolicy", "FaultPlan"}:
+        from . import resilience
+        return getattr(resilience, name)
     raise AttributeError(f"module 'repro' has no attribute {name!r}")
 
 
 __all__ = ["AnECI", "AnECIPlus", "Graph", "load_dataset", "DATASETS",
            "ParallelExecutor", "parallel_map", "resolve_workers",
+           "CheckpointManager", "CheckpointError", "DivergenceError",
+           "DivergenceGuard", "RecoveryPolicy", "FaultPlan",
            "__version__"]

@@ -94,7 +94,10 @@ class VGraph(EmbeddingMethod):
         from ..graph.graph import normalized_adjacency
         norm = normalized_adjacency(graph.adjacency)
         try:
-            _, vectors = spla.eigsh(norm, k=min(self.k, n - 2), which="LA")
+            # Explicit v0: ARPACK otherwise draws its starting vector from
+            # numpy's *global* RNG, making the whole fit nondeterministic.
+            _, vectors = spla.eigsh(norm, k=min(self.k, n - 2), which="LA",
+                                    v0=rng.standard_normal(n))
         except spla.ArpackNoConvergence:
             return rng.dirichlet(np.ones(self.k), size=n)
         labels, _, _ = kmeans(vectors, self.k, rng, n_init=3)

@@ -30,6 +30,11 @@ merging, so any command's output is identical at any worker count.
 ``--dtype {float32,float64}`` (default: the ``REPRO_DTYPE`` environment
 variable, else float64) selects the numeric precision of the training
 path for every model the command builds.
+
+``--checkpoint-dir PATH`` (default: the ``REPRO_CHECKPOINT_DIR``
+environment variable, else off) makes every fit write crash-safe
+snapshots under PATH; ``repro embed --resume`` continues an interrupted
+run from its newest valid snapshot, bit-identically.
 """
 
 from __future__ import annotations
@@ -64,6 +69,10 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="numeric precision of the training path "
                              "(default: $REPRO_DTYPE, else float64)")
+    parser.add_argument("--checkpoint-dir", default=None, metavar="PATH",
+                        help="write crash-safe training snapshots under "
+                             "PATH (default: $REPRO_CHECKPOINT_DIR, else "
+                             "off)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list calibrated benchmark datasets")
@@ -82,6 +91,10 @@ def build_parser() -> argparse.ArgumentParser:
     emb.add_argument("--out", required=True, help="output .npy path")
     emb.add_argument("--json", action="store_true",
                      help="print a structured JSON record instead of text")
+    emb.add_argument("--resume", action="store_true",
+                     help="resume an interrupted fit from the newest valid "
+                          "snapshot under --checkpoint-dir (aneci/aneci+ "
+                          "only)")
 
     att = sub.add_parser("attack", help="poison a dataset, save to .npz")
     _dataset_args(att)
@@ -135,6 +148,19 @@ def _load(args):
     return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
 
 
+def _finite_or_null(value) -> float | None:
+    """Map NaN/±inf to ``None`` so ``--json`` output is strict JSON."""
+    value = float(value)
+    return value if np.isfinite(value) else None
+
+
+def _strict_json(record: dict) -> str:
+    """Serialise with ``allow_nan=False``: a non-finite number that
+    slipped past the per-field mapping fails loudly here instead of
+    emitting ``NaN``/``Infinity`` tokens no strict parser accepts."""
+    return json.dumps(record, allow_nan=False)
+
+
 def _build_method(name: str, graph, epochs: int | None, seed: int,
                   n_init: int | None = None):
     """Instantiate AnECI, AnECI+ or any registered baseline by name."""
@@ -181,17 +207,33 @@ def cmd_embed(args) -> int:
     graph = _load(args)
     method = _build_method(args.method, graph, args.epochs, args.seed,
                            n_init=getattr(args, "n_init", None))
+    fit_kwargs = {}
+    if getattr(args, "resume", False):
+        directory = os.environ.get("REPRO_CHECKPOINT_DIR")
+        if not directory:
+            print("--resume needs --checkpoint-dir (or "
+                  "$REPRO_CHECKPOINT_DIR) to locate the snapshots",
+                  file=sys.stderr)
+            return 2
+        import inspect
+        if "resume_from" not in inspect.signature(
+                method.fit_transform).parameters:
+            print(f"--resume is not supported by method "
+                  f"{args.method!r}", file=sys.stderr)
+            return 2
+        fit_kwargs["resume_from"] = directory
     start = time.perf_counter()
-    embedding = method.fit_transform(graph)
+    embedding = method.fit_transform(graph, **fit_kwargs)
     elapsed = time.perf_counter() - start
     np.save(args.out, embedding)
     record = {"command": "embed", "method": args.method,
               "dataset": args.dataset, "scale": args.scale,
               "seed": args.seed, "shape": list(embedding.shape),
-              "out": str(args.out), "elapsed_s": elapsed}
+              "out": str(args.out), "elapsed_s": elapsed,
+              "resumed": bool(fit_kwargs)}
     events.emit("embed", **record)
     if getattr(args, "json", False):
-        print(json.dumps(record))
+        print(_strict_json(record))
     else:
         print(f"wrote {embedding.shape} embedding to {args.out}")
     return 0
@@ -257,10 +299,10 @@ def cmd_evaluate(args) -> int:
     record = {"command": "evaluate", "task": args.task,
               "method": args.method, "dataset": args.dataset,
               "scale": args.scale, "seed": args.seed, "metric": metric,
-              "value": float(value), "elapsed_s": elapsed}
+              "value": _finite_or_null(value), "elapsed_s": elapsed}
     events.emit("evaluate", **record)
     if getattr(args, "json", False):
-        print(json.dumps(record))
+        print(_strict_json(record))
     else:
         print(text)
     return 0
@@ -371,6 +413,11 @@ def main(argv: list[str] | None = None) -> int:
         # (including in worker processes) reads REPRO_DTYPE as its
         # default precision.
         os.environ["REPRO_DTYPE"] = args.dtype
+    if args.checkpoint_dir is not None:
+        # And again: every fit the command triggers — any method, any
+        # nesting depth, any worker process — checkpoints under this
+        # directory, namespaced by its own content-derived run key.
+        os.environ["REPRO_CHECKPOINT_DIR"] = args.checkpoint_dir
     handler = {
         "datasets": cmd_datasets,
         "generate": cmd_generate,

@@ -70,6 +70,26 @@ class AnECIConfig:
         ``"float32"`` (half the memory bandwidth, faster on large
         graphs, metric parity within small tolerances).  The default is
         taken from the ``REPRO_DTYPE`` environment variable when set.
+    divergence_policy:
+        What to do when an epoch produces a non-finite loss or gradient:
+        ``"recover"`` (restore the last good state, back off the
+        learning rate, re-seed after repeated failures — the default),
+        ``"raise"`` (fail fast with ``DivergenceError``), or ``"off"``
+        (legacy behaviour).  Default from ``REPRO_DIVERGENCE_POLICY``.
+    max_recoveries / lr_backoff / reseed_after:
+        Recovery budget per restart, the learning-rate multiplier
+        applied on each recovery, and how many consecutive recoveries
+        escalate to a model re-seed (see
+        :class:`repro.resilience.guards.RecoveryPolicy`).
+    checkpoint_dir:
+        When set, the fit writes crash-safe snapshots under this
+        directory (namespaced by a run key derived from graph + config)
+        and ``fit(resume_from=...)`` can continue an interrupted run.
+        Default from ``REPRO_CHECKPOINT_DIR``; ``None`` disables
+        checkpointing.
+    checkpoint_every:
+        Epoch interval between snapshots (``None``: the
+        ``REPRO_CHECKPOINT_EVERY`` environment variable, else 25).
     """
 
     num_communities: int
@@ -92,6 +112,15 @@ class AnECIConfig:
     katz_beta: float = 0.2
     dtype: str = field(
         default_factory=lambda: os.environ.get("REPRO_DTYPE", "float64"))
+    divergence_policy: str = field(
+        default_factory=lambda: os.environ.get("REPRO_DIVERGENCE_POLICY",
+                                               "recover"))
+    max_recoveries: int = 3
+    lr_backoff: float = 0.5
+    reseed_after: int = 2
+    checkpoint_dir: str | None = field(
+        default_factory=lambda: os.environ.get("REPRO_CHECKPOINT_DIR") or None)
+    checkpoint_every: int | None = None
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -119,3 +148,14 @@ class AnECIConfig:
             raise ValueError("dropout must be in [0, 1)")
         if self.dtype not in ("float32", "float64"):
             raise ValueError("dtype must be 'float32' or 'float64'")
+        if self.divergence_policy not in ("recover", "raise", "off"):
+            raise ValueError("divergence_policy must be 'recover', 'raise' "
+                             "or 'off'")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        if not 0.0 < self.lr_backoff <= 1.0:
+            raise ValueError("lr_backoff must be in (0, 1]")
+        if self.reseed_after < 1:
+            raise ValueError("reseed_after must be >= 1")
+        if self.checkpoint_every is not None and self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be >= 1")

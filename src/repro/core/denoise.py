@@ -68,14 +68,22 @@ class AnECIPlus:
         self._denoised_graph: Graph | None = None
 
     # ------------------------------------------------------------------ #
-    def fit(self, graph: Graph, workers: int | None = None) -> "AnECIPlus":
+    def fit(self, graph: Graph, workers: int | None = None,
+            resume_from: str | None = None) -> "AnECIPlus":
         """Run both phases of Algorithm 1 on ``graph``.
 
         ``workers`` is forwarded to both stage fits, parallelising their
         ``n_init`` restarts (see :meth:`repro.core.aneci.AnECI.fit`).
+
+        ``resume_from`` (a checkpoint directory) gives **stage-level
+        resume**: each stage trains on a different graph, so the two
+        fits occupy distinct run keys under the same directory — a
+        completed stage 1 restores from its final snapshot without
+        retraining, a half-done stage 2 continues mid-run.
         """
         with trace.span("denoise/stage1"):
-            self.stage1 = self._factory().fit(graph, workers=workers)
+            self.stage1 = self._factory().fit(graph, workers=workers,
+                                              resume_from=resume_from)
             embedding = self.stage1.embed(graph)
 
         with trace.span("denoise/score"):
@@ -106,7 +114,8 @@ class AnECIPlus:
         self._denoised_graph = denoised
 
         with trace.span("denoise/stage2"):
-            self.stage2 = self._factory().fit(denoised, workers=workers)
+            self.stage2 = self._factory().fit(denoised, workers=workers,
+                                              resume_from=resume_from)
         return self
 
     # ------------------------------------------------------------------ #
@@ -115,8 +124,10 @@ class AnECIPlus:
         self._require_fitted()
         return self.stage2.embed(graph or self._denoised_graph)
 
-    def fit_transform(self, graph: Graph) -> np.ndarray:
-        return self.fit(graph).embed()
+    def fit_transform(self, graph: Graph, workers: int | None = None,
+                      resume_from: str | None = None) -> np.ndarray:
+        return self.fit(graph, workers=workers,
+                        resume_from=resume_from).embed()
 
     def membership(self, graph: Graph | None = None) -> np.ndarray:
         self._require_fitted()

@@ -28,7 +28,7 @@ from ..attacks.surrogate import LinearSurrogate
 from ..core import defense_score, newman_modularity
 from ..graph.graph import Graph
 from ..metrics import accuracy
-from ..obs import events, trace
+from ..obs import events, metrics, trace
 from ..parallel import ParallelExecutor
 from ..tasks import (anomaly_auc, communities_from_embedding,
                      evaluate_embedding, isolation_forest_scores)
@@ -47,17 +47,45 @@ __all__ = [
 ]
 
 
+#: Fault-tolerance counters surfaced per experiment: how often the run
+#: leaned on a recovery path (injected faults, divergence recoveries,
+#: task retries, pool fallbacks) while producing its result.
+_RESILIENCE_COUNTERS = ("faults.injected", "resilience.recoveries",
+                        "parallel.retries", "parallel.fallbacks")
+
+
+def _resilience_counts() -> dict[str, int]:
+    registry = metrics.registry()
+    return {name: registry.counter(name).value
+            for name in _RESILIENCE_COUNTERS}
+
+
 def _observed(fn):
     """Trace a runner under ``experiment/<fn name>`` and emit a
-    structured completion event built from its :class:`ExperimentResult`."""
+    structured completion event built from its :class:`ExperimentResult`.
+
+    The event carries the run's resilience-counter deltas, so a chaos
+    run (or a flaky machine) shows *how* the result was produced — e.g.
+    ``recoveries=2, task_retries=1`` — right next to the metrics."""
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
+        before = _resilience_counts()
         with trace.span(f"experiment/{fn.__name__}"):
             result = fn(*args, **kwargs)
+        after = _resilience_counts()
         events.emit("experiment", name=result.name,
                     duration_s=result.duration_s,
-                    methods=sorted(result.rows), **result.metadata)
+                    methods=sorted(result.rows),
+                    faults_injected=after["faults.injected"]
+                    - before["faults.injected"],
+                    recoveries=after["resilience.recoveries"]
+                    - before["resilience.recoveries"],
+                    task_retries=after["parallel.retries"]
+                    - before["parallel.retries"],
+                    pool_fallbacks=after["parallel.fallbacks"]
+                    - before["parallel.fallbacks"],
+                    **result.metadata)
         return result
 
     return wrapper

@@ -10,22 +10,51 @@ arrays.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import os
+from dataclasses import InitVar, dataclass, field, replace
 from typing import Iterable, Sequence
 
 import networkx as nx
 import numpy as np
 import scipy.sparse as sp
 
-__all__ = ["Graph", "normalized_adjacency", "edges_from_adjacency"]
+__all__ = ["Graph", "normalized_adjacency", "edges_from_adjacency",
+           "default_validate"]
+
+_VALIDATE_MODES = ("raise", "sanitize", "off")
 
 
-def _validate_adjacency(adjacency: sp.spmatrix) -> sp.csr_matrix:
+def default_validate() -> str:
+    """Construction-time validation policy (``REPRO_VALIDATE``,
+    default ``"raise"``)."""
+    return os.environ.get("REPRO_VALIDATE", "raise")
+
+
+def _validate_adjacency(adjacency: sp.spmatrix,
+                        mode: str = "raise") -> sp.csr_matrix:
     adjacency = sp.csr_matrix(adjacency, dtype=np.float64)
     if adjacency.shape[0] != adjacency.shape[1]:
         raise ValueError("adjacency must be square")
+    if mode == "off":
+        adjacency.eliminate_zeros()
+        return adjacency
+    if mode == "sanitize":
+        if adjacency.data.size and not np.isfinite(adjacency.data).all():
+            adjacency.data[~np.isfinite(adjacency.data)] = 0.0
+        adjacency = adjacency.maximum(adjacency.T).tocsr()
+        adjacency.setdiag(0.0)
+        if adjacency.data.size:
+            adjacency.data[:] = (adjacency.data != 0.0).astype(np.float64)
+        adjacency.eliminate_zeros()
+        return adjacency
+    if adjacency.data.size and not np.isfinite(adjacency.data).all():
+        raise ValueError(
+            "adjacency contains non-finite entries (NaN/inf); pass "
+            "validate='sanitize' to drop them")
     if (adjacency != adjacency.T).nnz != 0:
-        raise ValueError("adjacency must be symmetric (undirected graphs only)")
+        raise ValueError(
+            "adjacency must be symmetric (undirected graphs only); pass "
+            "validate='sanitize' to symmetrise with max(A, Aᵀ)")
     if adjacency.diagonal().any():
         raise ValueError("adjacency must not contain self-loops; they are "
                          "added during normalisation")
@@ -53,6 +82,13 @@ class Graph:
         Optional node index arrays for the semi-supervised protocol.
     name:
         Human-readable dataset name.
+    validate:
+        Construction-time input checking: ``"raise"`` (the default —
+        reject asymmetric/non-binary adjacency and non-finite features
+        with a clear error instead of failing deep inside ``fit``),
+        ``"sanitize"`` (symmetrise with ``max(A, Aᵀ)``, drop self-loops,
+        binarise, zero non-finite values), or ``"off"`` (trust the
+        caller; shape checks only).  Default from ``REPRO_VALIDATE``.
     """
 
     adjacency: sp.csr_matrix
@@ -63,9 +99,15 @@ class Graph:
     test_idx: np.ndarray | None = None
     name: str = "graph"
     metadata: dict = field(default_factory=dict)
+    validate: InitVar[str | None] = None
 
-    def __post_init__(self):
-        object.__setattr__(self, "adjacency", _validate_adjacency(self.adjacency))
+    def __post_init__(self, validate: str | None = None):
+        mode = default_validate() if validate is None else validate
+        if mode not in _VALIDATE_MODES:
+            raise ValueError(f"validate must be one of {_VALIDATE_MODES}, "
+                             f"got {mode!r}")
+        object.__setattr__(self, "adjacency",
+                           _validate_adjacency(self.adjacency, mode))
         features = np.asarray(self.features, dtype=np.float64)
         if features.ndim != 2:
             raise ValueError("features must be a 2-D matrix")
@@ -73,6 +115,15 @@ class Graph:
             raise ValueError(
                 f"features have {features.shape[0]} rows for "
                 f"{self.adjacency.shape[0]} nodes")
+        if mode != "off" and not np.isfinite(features).all():
+            if mode == "raise":
+                bad = int((~np.isfinite(features)).sum())
+                raise ValueError(
+                    f"features contain {bad} non-finite value(s) "
+                    f"(NaN/inf); pass validate='sanitize' to zero them "
+                    f"or validate='off' to skip input checks")
+            features = np.nan_to_num(features, nan=0.0, posinf=0.0,
+                                     neginf=0.0)
         object.__setattr__(self, "features", features)
         if self.labels is not None:
             labels = np.asarray(self.labels)

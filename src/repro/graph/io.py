@@ -28,8 +28,15 @@ def save_graph(graph: Graph, path: str | os.PathLike) -> None:
     np.savez_compressed(path, **payload)
 
 
-def load_graph(path: str | os.PathLike) -> Graph:
-    """Load a graph previously written by :func:`save_graph`."""
+def load_graph(path: str | os.PathLike,
+               validate: str | None = None) -> Graph:
+    """Load a graph previously written by :func:`save_graph`.
+
+    ``validate`` is the :class:`~repro.graph.graph.Graph` input-checking
+    policy (``"raise"`` | ``"sanitize"`` | ``"off"``); files from
+    untrusted or hand-edited sources fail loudly under the default
+    instead of producing NaNs deep inside ``fit``.
+    """
     with np.load(path, allow_pickle=False) as data:
         n = int(data["num_nodes"][0])
         adjacency = sp.csr_matrix(
@@ -40,4 +47,4 @@ def load_graph(path: str | os.PathLike) -> Graph:
             if key in data:
                 kwargs[key] = data[key]
         return Graph(adjacency=adjacency, features=data["features"],
-                     name=str(data["name"][0]), **kwargs)
+                     name=str(data["name"][0]), validate=validate, **kwargs)

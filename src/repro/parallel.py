@@ -16,11 +16,18 @@ arguments (each task carries its own explicitly derived seed).
   increments, tracing spans — is captured by a :class:`ChildTelemetry`
   sink and replayed in the parent **in task order**, so subscribed sinks,
   counters and span trees end up identical to a serial run.
-* Any pool-level failure (a crashed worker, an unpicklable task, a
-  missing ``multiprocessing`` primitive) falls back to running every
-  task serially in-process: the run finishes with a warning instead of
-  failing.  Exceptions *raised by the task function itself* propagate
-  unchanged, exactly as they would serially.
+* A crashed or hung worker is absorbed in two layers.  First, **per-task
+  retry**: only the failed/timed-out task is re-submitted to a fresh
+  pool with its *original arguments* (hence its original seed — the
+  bit-identical merge contract survives retries), up to
+  ``REPRO_TASK_RETRIES`` times with ``REPRO_TASK_BACKOFF``-second
+  exponential backoff; ``REPRO_TASK_TIMEOUT`` bounds each task's wait.
+  Only when retries are exhausted — or the failure is structural (an
+  unpicklable task, a missing ``multiprocessing`` primitive) — does the
+  run fall back to executing every task serially in-process: it finishes
+  with a warning instead of failing.  Exceptions *raised by the task
+  function itself* propagate unchanged, exactly as they would serially —
+  they are deterministic, so they are never retried.
 
 Worker count resolution (:func:`resolve_workers`): an explicit argument
 wins, else the ``REPRO_WORKERS`` environment variable, else 1 (serial).
@@ -39,19 +46,40 @@ from __future__ import annotations
 
 import os
 import pickle
+import time
 import warnings
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Sequence
 
 from .obs import events, metrics, trace
+from .resilience import faultinject
 
 __all__ = [
     "ChildTelemetry", "ParallelExecutor", "TaskOutcome", "parallel_map",
-    "resolve_workers",
+    "resolve_workers", "default_task_retries", "default_task_timeout",
+    "default_task_backoff",
 ]
 
 #: Set in worker processes so nested code resolves to serial execution.
 _IN_WORKER = False
+
+
+def default_task_retries() -> int:
+    """Per-task retry budget (``REPRO_TASK_RETRIES``, default 1)."""
+    return int(os.environ.get("REPRO_TASK_RETRIES", "1"))
+
+
+def default_task_timeout() -> float | None:
+    """Per-task result timeout in seconds (``REPRO_TASK_TIMEOUT``,
+    default: no timeout)."""
+    value = os.environ.get("REPRO_TASK_TIMEOUT", "")
+    return float(value) if value else None
+
+
+def default_task_backoff() -> float:
+    """Base retry backoff in seconds (``REPRO_TASK_BACKOFF``,
+    default 0.1; doubled on each further attempt)."""
+    return float(os.environ.get("REPRO_TASK_BACKOFF", "0.1"))
 
 
 def resolve_workers(value: int | str | None = None) -> int:
@@ -122,7 +150,7 @@ class TaskOutcome:
 
 
 def _run_in_worker(fn: Callable, index: int, args: tuple,
-                   capture: bool) -> TaskOutcome:
+                   capture: bool, attempt: int = 0) -> TaskOutcome:
     """Worker-side wrapper: isolate telemetry, run the task, package both.
 
     Runs in the pool process.  Inherited sinks/tracers are detached so
@@ -133,6 +161,15 @@ def _run_in_worker(fn: Callable, index: int, args: tuple,
     global _IN_WORKER
     _IN_WORKER = True
     os.environ["REPRO_WORKERS"] = "1"
+    # Chaos hooks (no-ops without a REPRO_FAULTS plan): keyed by task and
+    # attempt so a spec like ``worker_crash@task=1,attempt=0`` kills only
+    # the first try and lets the retry succeed.
+    if faultinject.fire("worker_crash", task=index, attempt=attempt) \
+            is not None:
+        os._exit(17)
+    spec = faultinject.fire("timeout", task=index, attempt=attempt)
+    if spec is not None:
+        time.sleep(spec.params.get("s", 30.0))
     if not capture:
         return TaskOutcome(index, fn(*args))
     events.BUS.reset()
@@ -171,12 +208,32 @@ class ParallelExecutor:
         Capture and replay worker-side observability (events, metrics,
         spans).  Disable for tasks whose event volume outweighs their
         compute.
+    retries:
+        How many times a task whose *worker* died or timed out is
+        re-submitted (with its original arguments, so derived seeds and
+        the deterministic merge are unaffected) before the pool-wide
+        serial fallback.  Default: ``REPRO_TASK_RETRIES``, else 1.
+    timeout:
+        Seconds to wait for each task's result; a task that exceeds it
+        counts as failed and is retried on a fresh pool.  Default:
+        ``REPRO_TASK_TIMEOUT``, else no timeout.
+    backoff:
+        Base sleep before a retry round, doubled per further attempt.
+        Default: ``REPRO_TASK_BACKOFF``, else 0.1 s.
     """
 
     def __init__(self, max_workers: int | str | None = None,
-                 telemetry: bool = True):
+                 telemetry: bool = True, retries: int | None = None,
+                 timeout: float | None = None, backoff: float | None = None):
         self.workers = resolve_workers(max_workers)
         self.telemetry = telemetry
+        self.retries = default_task_retries() if retries is None \
+            else int(retries)
+        if self.retries < 0:
+            raise ValueError("retries must be >= 0")
+        self.timeout = default_task_timeout() if timeout is None else timeout
+        self.backoff = default_task_backoff() if backoff is None \
+            else float(backoff)
 
     def map(self, fn: Callable, tasks: Iterable[Sequence],
             on_result: Callable[[int, object], None] | None = None) -> list:
@@ -220,20 +277,76 @@ class ParallelExecutor:
         return results
 
     def _map_pool(self, fn, tasks) -> list[TaskOutcome]:
-        from concurrent.futures import ProcessPoolExecutor
         registry = metrics.registry()
         registry.counter("parallel.tasks").inc(len(tasks))
         registry.gauge("parallel.workers").set(self.workers)
+        outcomes: list[TaskOutcome | None] = [None] * len(tasks)
+        pending = list(range(len(tasks)))
+        attempt = 0
         with trace.span("parallel/map"):
-            with ProcessPoolExecutor(
-                    max_workers=min(self.workers, len(tasks))) as pool:
-                futures = [pool.submit(_run_in_worker, fn, index, task,
-                                       self.telemetry)
-                           for index, task in enumerate(tasks)]
-                # Collect in submission (= task-index) order; a worker
-                # crash surfaces here as BrokenProcessPool and triggers
-                # the caller's serial fallback.
-                return [future.result() for future in futures]
+            while True:
+                failures = self._pool_round(fn, tasks, pending, attempt,
+                                            outcomes)
+                if not failures:
+                    return outcomes
+                if attempt >= self.retries:
+                    # Retry budget spent: surface the first failure.
+                    # BrokenProcessPool and TimeoutError (an OSError)
+                    # are both in _fallback_errors(), so the caller's
+                    # pool-wide serial fallback takes over from here.
+                    raise failures[0][1]
+                for index, exc in failures:
+                    registry.counter("parallel.retries").inc()
+                    events.emit("task_retry", task=index, attempt=attempt,
+                                error=type(exc).__name__, detail=str(exc))
+                    warnings.warn(
+                        f"task {index} failed ({type(exc).__name__}: {exc});"
+                        f" retrying with its original arguments "
+                        f"(attempt {attempt + 2}/{self.retries + 1})",
+                        RuntimeWarning, stacklevel=3)
+                if self.backoff:
+                    time.sleep(self.backoff * 2 ** attempt)
+                pending = [index for index, _ in failures]
+                attempt += 1
+
+    def _pool_round(self, fn, tasks, pending, attempt,
+                    outcomes) -> list[tuple[int, BaseException]]:
+        """Run the ``pending`` task indices on a fresh pool; fill
+        ``outcomes`` in place and return ``(index, exception)`` for every
+        task whose *worker* died or timed out.  A worker crash breaks the
+        whole pool, so collateral tasks of the same round land in the
+        failure list too and retry alongside the real victim — their
+        arguments are unchanged, so determinism is unaffected.  Structural
+        pool errors and the task function's own exceptions propagate."""
+        from concurrent.futures import ProcessPoolExecutor
+        from concurrent.futures import TimeoutError as FutureTimeout
+        from concurrent.futures.process import BrokenProcessPool
+        failures: list[tuple[int, BaseException]] = []
+        hung = False
+        pool = ProcessPoolExecutor(max_workers=min(self.workers,
+                                                   len(pending)))
+        try:
+            futures = [(index, pool.submit(_run_in_worker, fn, index,
+                                           tasks[index], self.telemetry,
+                                           attempt))
+                       for index in pending]
+            # Collect in submission (= task-index) order.
+            for index, future in futures:
+                try:
+                    outcomes[index] = future.result(timeout=self.timeout)
+                except FutureTimeout:
+                    hung = True
+                    future.cancel()
+                    failures.append((index, TimeoutError(
+                        f"task {index} produced no result within "
+                        f"{self.timeout}s")))
+                except BrokenProcessPool as exc:
+                    failures.append((index, exc))
+        finally:
+            # A hung worker would block a waiting shutdown forever; leave
+            # it behind and let the retry run on the fresh pool.
+            pool.shutdown(wait=not hung, cancel_futures=True)
+        return failures
 
 
 def parallel_map(fn: Callable, tasks: Iterable[Sequence],

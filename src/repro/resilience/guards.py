@@ -1,0 +1,193 @@
+"""Divergence detection and recovery for the training loop.
+
+A :class:`DivergenceGuard` watches one fit: after every good epoch the
+trainer calls :meth:`~DivergenceGuard.commit` (a ``np.copyto`` into
+preallocated buffers — no per-epoch allocation); when an epoch produces
+a non-finite loss or gradient, :meth:`~DivergenceGuard.handle` applies
+the :class:`RecoveryPolicy`:
+
+1. restore parameters and optimizer state from the last good commit,
+2. back off the learning rate by ``lr_backoff``,
+3. after ``reseed_after`` consecutive recoveries, escalate to a
+   **re-seed** (the trainer rebuilds the model with a fresh derived
+   seed and calls :meth:`~DivergenceGuard.rebind`),
+4. raise :class:`DivergenceError` once ``max_recoveries`` is spent.
+
+The guard's checks are read-only and its snapshots live outside the
+autograd graph, so with no divergence the trained result is
+bit-identical to an unguarded run.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..obs import events, metrics
+
+__all__ = ["DivergenceError", "DivergenceGuard", "RecoveryPolicy"]
+
+_MODES = ("recover", "raise", "off")
+
+
+class DivergenceError(RuntimeError):
+    """Training diverged and the recovery budget is exhausted (or the
+    policy is ``raise``)."""
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """What to do when an epoch diverges.
+
+    Attributes
+    ----------
+    mode:
+        ``"recover"`` (restore + back off + re-seed, the default),
+        ``"raise"`` (fail fast on the first divergence), or ``"off"``
+        (legacy behaviour: keep stepping on non-finite values).
+    max_recoveries:
+        Total recoveries allowed per restart before giving up.
+    lr_backoff:
+        Multiplier applied to the learning rate on every recovery.
+    reseed_after:
+        Consecutive recoveries that escalate to a model re-seed.
+    """
+
+    mode: str = "recover"
+    max_recoveries: int = 3
+    lr_backoff: float = 0.5
+    reseed_after: int = 2
+
+    def __post_init__(self):
+        if self.mode not in _MODES:
+            raise ValueError(f"divergence policy must be one of {_MODES}, "
+                             f"got {self.mode!r}")
+        if self.max_recoveries < 0:
+            raise ValueError("max_recoveries must be >= 0")
+        if not 0.0 < self.lr_backoff <= 1.0:
+            raise ValueError("lr_backoff must be in (0, 1]")
+        if self.reseed_after < 1:
+            raise ValueError("reseed_after must be >= 1")
+
+    @classmethod
+    def from_config(cls, config) -> "RecoveryPolicy":
+        """Policy from ``AnECIConfig``-style fields (with env default
+        ``REPRO_DIVERGENCE_POLICY`` for the mode)."""
+        mode = getattr(config, "divergence_policy", None)
+        if mode is None:
+            mode = os.environ.get("REPRO_DIVERGENCE_POLICY", "recover")
+        return cls(
+            mode=mode,
+            max_recoveries=getattr(config, "max_recoveries", 3),
+            lr_backoff=getattr(config, "lr_backoff", 0.5),
+            reseed_after=getattr(config, "reseed_after", 2),
+        )
+
+
+class DivergenceGuard:
+    """Tracks one fit's last good state and applies the recovery policy.
+
+    Parameters
+    ----------
+    params:
+        The model's parameter tensors (objects with ``.data`` /
+        ``.grad`` ndarrays).
+    optimizer:
+        An optimizer exposing ``capture(into=None)`` / ``restore(state)``
+        (see :class:`repro.nn.optim.Optimizer`), or ``None``.
+    policy:
+        The :class:`RecoveryPolicy` to apply.
+    """
+
+    def __init__(self, params, optimizer, policy: RecoveryPolicy):
+        self.policy = policy
+        self.recoveries = 0
+        self.reseeds = 0
+        self._since_reseed = 0
+        self.rebind(params, optimizer)
+
+    def rebind(self, params, optimizer) -> None:
+        """Point the guard at a (re-seeded) model; snapshots restart
+        from the new initial state. Consecutive-failure escalation
+        resets, total budget does not."""
+        self._params = list(params)
+        self._optimizer = optimizer
+        self._buffers = [np.empty_like(p.data) for p in self._params]
+        self._opt_state = None
+        self._committed = False
+        self._since_reseed = 0
+
+    # -- per-epoch protocol ---------------------------------------------- #
+    @staticmethod
+    def diverged(loss_value: float, params) -> bool:
+        """Did this epoch produce a non-finite loss or gradient?"""
+        if not np.isfinite(loss_value):
+            return True
+        for param in params:
+            grad = getattr(param, "grad", None)
+            if grad is not None and not np.isfinite(grad).all():
+                return True
+        return False
+
+    def commit(self) -> None:
+        """Record the current (finite) state as the recovery point."""
+        for buffer, param in zip(self._buffers, self._params):
+            np.copyto(buffer, param.data)
+        if self._optimizer is not None:
+            self._opt_state = self._optimizer.capture(into=self._opt_state)
+        self._committed = True
+
+    def handle(self, *, loss: float, epoch: int, restart: int) -> str:
+        """Apply the policy to a diverged epoch.
+
+        Returns ``"ignore"`` (policy off — caller keeps the epoch),
+        ``"restored"`` (state rolled back, LR backed off — caller skips
+        the epoch), or ``"reseed"`` (caller must rebuild the model with
+        a fresh seed and :meth:`rebind`).  Raises
+        :class:`DivergenceError` when the policy is ``raise`` or the
+        budget is spent.
+        """
+        metrics.registry().counter("resilience.divergences").inc()
+        events.emit("divergence", epoch=epoch, restart=restart,
+                    loss=float(loss), recoveries=self.recoveries)
+        if self.policy.mode == "off":
+            return "ignore"
+        if self.policy.mode == "raise" \
+                or self.recoveries >= self.policy.max_recoveries:
+            raise DivergenceError(
+                f"non-finite loss/gradient at epoch {epoch} (restart "
+                f"{restart}) after {self.recoveries} recover"
+                f"{'y' if self.recoveries == 1 else 'ies'}; policy="
+                f"{self.policy.mode}, budget={self.policy.max_recoveries}")
+        self.recoveries += 1
+        self._since_reseed += 1
+        if self._committed:
+            for param, buffer in zip(self._params, self._buffers):
+                np.copyto(param.data, buffer)
+            if self._optimizer is not None:
+                self._optimizer.restore(self._opt_state)
+        if self._optimizer is not None:
+            self._optimizer.lr *= self.policy.lr_backoff
+        action = "restored"
+        if self._since_reseed >= self.policy.reseed_after:
+            action = "reseed"
+            self.reseeds += 1
+        metrics.registry().counter("resilience.recoveries").inc()
+        events.emit("recovery", epoch=epoch, restart=restart, action=action,
+                    lr=self._optimizer.lr if self._optimizer else None,
+                    recoveries=self.recoveries)
+        return action
+
+    # -- checkpoint integration ------------------------------------------ #
+    def state(self) -> dict:
+        """Budget counters for checkpoint meta."""
+        return {"recoveries": self.recoveries, "reseeds": self.reseeds,
+                "since_reseed": self._since_reseed}
+
+    def load_state(self, state: dict) -> None:
+        """Restore budget counters from checkpoint meta."""
+        self.recoveries = int(state.get("recoveries", 0))
+        self.reseeds = int(state.get("reseeds", 0))
+        self._since_reseed = int(state.get("since_reseed", 0))

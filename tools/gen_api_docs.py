@@ -28,6 +28,7 @@ PACKAGES = [
     "repro.experiments",
     "repro.obs",
     "repro.parallel",
+    "repro.resilience",
 ]
 
 #: Hand-written markdown appended after a package's generated section;
@@ -155,6 +156,54 @@ python -m repro --workers 4 experiment --name classification
 PYTHONPATH=src python -m pytest benchmarks/test_perf_parallel.py -q
 python tools/bench_compare.py BENCH_parallel.json /tmp/BENCH_parallel.json
 ```
+""",
+    "repro.resilience": """\
+### Resilience guide
+
+The fault-tolerant training runtime has three layers, all bit-invisible
+while nothing goes wrong:
+
+**Divergence guards.**  `AnECI._fit_once` checks every epoch's loss and
+gradients for finiteness.  On divergence the `DivergenceGuard` applies
+the `RecoveryPolicy` built from `AnECIConfig`: restore the last good
+parameters + optimizer state, multiply the learning rate by
+`lr_backoff`, escalate to a fresh-seed rebuild after `reseed_after`
+consecutive failures, and raise `DivergenceError` once
+`max_recoveries` is spent.  Set `divergence_policy="raise"` to fail
+fast or `"off"` for the legacy keep-stepping behaviour
+(`REPRO_DIVERGENCE_POLICY` is the env default).  Incidents surface as
+`divergence`/`recovery` events plus `resilience.divergences` /
+`resilience.recoveries` counters.
+
+**Crash-safe checkpoints.**  With `AnECIConfig(checkpoint_dir=...)` —
+or the CLI's global `--checkpoint-dir` — a `CheckpointManager`
+atomically snapshots weights, optimizer moments + scalars, RNG state,
+history, early-stopping and guard budgets every `checkpoint_every`
+epochs (env: `REPRO_CHECKPOINT_EVERY`/`REPRO_CHECKPOINT_KEEP`), each
+file checksummed and namespaced by a content-derived run key.
+
+```python
+model = AnECI(graph.num_features, num_communities=7,
+              checkpoint_dir="ckpts", checkpoint_every=50)
+model.fit(graph)                          # snapshots as it trains
+fresh = AnECI(graph.num_features, num_communities=7)
+fresh.fit(graph, resume_from="ckpts")     # exact continuation
+```
+
+Resume validates checksums and falls back past corrupt files
+(`checkpoint_corrupt` event + warning); a resumed fit reproduces the
+uninterrupted run's embedding bit-for-bit, multi-restart fits and both
+`AnECIPlus` stages included.  CLI: `repro embed --resume`.
+
+**Deterministic fault injection.**  `REPRO_FAULTS` (or
+`faultinject.injected(...)` in tests) installs a plan of seeded faults —
+`nan_loss@epoch=3`, `worker_crash@task=1,attempt=0`,
+`timeout@task=2,s=5`, `checkpoint_corrupt@save=1`,
+`nan_loss@p=0.2,seed=7` — that fire at exactly the same points every
+run, pool workers included.  Every firing emits a `fault_injected`
+event and bumps `faults.injected`, so chaos runs audit themselves.
+CI's chaos-smoke leg runs the critical tests under crash + NaN
+injection; `tests/test_resilience.py` holds the full contract.
 """,
 }
 
