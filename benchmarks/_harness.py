@@ -21,7 +21,7 @@ import numpy as np
 
 from repro import baselines as B
 from repro.core import AnECI, AnECIPlus
-from repro.obs import metrics as _metrics, trace as _trace
+from repro.obs import metrics as _metrics, store as _store, trace as _trace
 from repro.parallel import ParallelExecutor, resolve_workers
 
 RESULTS_DIR = Path(__file__).parent / "results"
@@ -128,7 +128,40 @@ def save_results(name: str, payload: dict) -> None:
     with open(path, "w") as fh:
         json.dump(payload, fh, indent=2, default=_jsonify)
     print(f"\n[{name}] results written to {path}")
+    _record_ledger_entry(name, payload)
     save_timing_breakdown(name)
+
+
+def _record_ledger_entry(name: str, payload: dict) -> None:
+    """Leave one ``bench:<name>`` run-ledger entry (``REPRO_RUN_DIR``).
+
+    Must run *before* :func:`save_timing_breakdown` resets the tracer and
+    registry — the entry carries the benchmark's span tree, metrics
+    snapshot and every numeric result cell, so repeated benchmark runs
+    regression-check against their own history.
+    """
+    if not _store.enabled():
+        return
+    _store.record(
+        "benchmark", f"bench:{name}",
+        final=_flatten_payload(payload),
+        elapsed_s=round(TRACER.total_seconds(), 6),
+        spans=TRACER.to_dict(),
+        metrics=_metrics.registry().snapshot(),
+        workers=WORKERS)
+
+
+def _flatten_payload(payload: dict, prefix: str = "") -> dict[str, float]:
+    """Finite numeric leaves of a nested results payload, dot-joined."""
+    out: dict[str, float] = {}
+    for key, value in payload.items():
+        name = f"{prefix}{key}"
+        if isinstance(value, dict):
+            out.update(_flatten_payload(value, f"{name}."))
+        elif isinstance(value, (int, float, np.integer, np.floating)) \
+                and not isinstance(value, bool) and np.isfinite(value):
+            out[name] = float(value)
+    return out
 
 
 def save_timing_breakdown(name: str) -> None:

@@ -16,11 +16,19 @@ evaluate
 profile
     Train a model on a synthetic graph under the op profiler and print
     the top-k per-op time table plus the traced span tree.
+obs
+    Browse the persistent run ledger: ``repro obs runs list`` /
+    ``show`` / ``diff`` / ``export`` / ``tail`` / ``regress`` (the
+    ``runs`` noun is optional).  ``export`` writes Chrome trace-event
+    JSON (load it in Perfetto / ``chrome://tracing``) and Prometheus
+    text files from a recorded entry.
 
 Global observability flags (before the subcommand): ``--trace PATH``
 streams every structured event the run emits to a JSONL file and
 appends the final span tree; ``--profile`` prints the per-op autograd
-table after the command finishes.
+table after the command finishes; ``--run-dir [PATH]`` records every
+fit/denoise/experiment the command performs into the run ledger at
+PATH (bare flag: the one-slot default ``.repro/runs/``).
 
 ``--workers N`` (default: the ``REPRO_WORKERS`` environment variable,
 else 1) fans the parallelisable layers — ``n_init`` restarts, grid
@@ -73,6 +81,13 @@ def build_parser() -> argparse.ArgumentParser:
                         help="write crash-safe training snapshots under "
                              "PATH (default: $REPRO_CHECKPOINT_DIR, else "
                              "off)")
+    from .obs.store import DEFAULT_RUN_DIR
+    parser.add_argument("--run-dir", nargs="?", const=DEFAULT_RUN_DIR,
+                        default=None, metavar="PATH",
+                        help="record every run this command performs into "
+                             "the persistent run ledger at PATH (bare flag: "
+                             f"{DEFAULT_RUN_DIR}; default: $REPRO_RUN_DIR, "
+                             "else off)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("datasets", help="list calibrated benchmark datasets")
@@ -133,7 +148,51 @@ def build_parser() -> argparse.ArgumentParser:
         "anomaly", "community", "timing"])
     ex.add_argument("--out", default=None,
                     help="optional path for a markdown report")
+
+    obs = sub.add_parser(
+        "obs", help="browse the run ledger (list/show/diff/export/tail)")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+    # ``repro obs runs <verb>`` and ``repro obs <verb>`` are synonyms:
+    # the same verb parsers hang off both levels with a shared dest.
+    runs = obs_sub.add_parser("runs", help="alias namespace for the verbs")
+    _obs_verbs(runs.add_subparsers(dest="obs_command", required=True))
+    _obs_verbs(obs_sub)
     return parser
+
+
+def _obs_verbs(sub) -> None:
+    """Attach the ledger verbs to one ``add_subparsers`` result."""
+    ls = sub.add_parser("list", help="one line per recorded run")
+    ls.add_argument("--key", default=None,
+                    help="restrict to one run key (substring ok)")
+    show = sub.add_parser("show", help="print one full entry as JSON")
+    show.add_argument("key", help="run key (unique substring ok)")
+    show.add_argument("--seq", type=int, default=None,
+                      help="entry sequence number (default: newest)")
+    diff = sub.add_parser("diff", help="compare two entries of one key")
+    diff.add_argument("key", help="run key (unique substring ok)")
+    diff.add_argument("--a", type=int, default=None, metavar="SEQ",
+                      help="baseline entry (default: second newest)")
+    diff.add_argument("--b", type=int, default=None, metavar="SEQ",
+                      help="candidate entry (default: newest)")
+    diff.add_argument("--json", action="store_true",
+                      help="print the structured diff instead of text")
+    exp = sub.add_parser("export", help="write Chrome-trace + Prometheus "
+                                        "files from one entry")
+    exp.add_argument("key", help="run key (unique substring ok)")
+    exp.add_argument("--seq", type=int, default=None,
+                     help="entry sequence number (default: newest)")
+    exp.add_argument("--out", default=".", metavar="DIR",
+                     help="output directory (default: cwd)")
+    exp.add_argument("--format", choices=["chrome", "prom", "both"],
+                     default="both")
+    tail = sub.add_parser("tail", help="print the newest entries as JSONL")
+    tail.add_argument("-n", "--lines", type=int, default=10)
+    reg = sub.add_parser("regress", help="re-judge the newest entry "
+                                         "against its baseline")
+    reg.add_argument("key", help="run key (unique substring ok)")
+    reg.add_argument("--strict", action="store_true",
+                     help="exit 3 when findings exist (default: warn only)")
 
 
 def _dataset_args(parser: argparse.ArgumentParser) -> None:
@@ -367,6 +426,126 @@ def cmd_experiment(args) -> int:
     return 0
 
 
+def cmd_obs(args) -> int:
+    """Ledger browsing: list / show / diff / export / tail / regress."""
+    from .obs import export, regress, store
+    directory = os.environ.get("REPRO_RUN_DIR") or store.DEFAULT_RUN_DIR
+    ledger = store.RunLedger(directory)
+    verb = args.obs_command
+
+    if verb == "list":
+        rows = ledger.summaries()
+        if getattr(args, "key", None):
+            key = ledger.resolve_key(args.key)
+            rows = [s for s in rows if s["key"] == key]
+        if not rows:
+            print(f"no runs recorded under {directory}")
+            return 0
+        print(f"{'seq':>4}  {'kind':<10}  {'key':<32}  {'elapsed':>9}  "
+              f"{'regr':>4}  final")
+        for s in rows:
+            elapsed = f"{s['elapsed_s']:.3f}s" if s.get("elapsed_s") \
+                is not None else "-"
+            final = ", ".join(
+                f"{k}={v:.4g}" for k, v in sorted(s["final"].items())
+                if isinstance(v, (int, float)))[:60] or "-"
+            flag = s["regressions"] or ("ERR" if s.get("error") else "")
+            print(f"{s['seq']:>4}  {s['kind'] or '-':<10}  "
+                  f"{s['key']:<32}  {elapsed:>9}  {str(flag):>4}  {final}")
+        return 0
+
+    if verb == "tail":
+        rows = ledger.summaries()[-max(args.lines, 0):]
+        for summary in rows:
+            print(json.dumps(ledger.read_entry(summary), sort_keys=True))
+        return 0
+
+    key = ledger.resolve_key(args.key)
+    entries = ledger.entries(key)
+
+    def by_seq(seq):
+        for entry in entries:
+            if entry["seq"] == seq:
+                return entry
+        raise KeyError(f"key {key!r} has no entry with seq {seq} "
+                       f"(known: {[e['seq'] for e in entries]})")
+
+    if verb == "show":
+        entry = entries[-1] if args.seq is None else by_seq(args.seq)
+        print(json.dumps(entry, indent=2, sort_keys=True))
+        return 0
+
+    if verb == "export":
+        entry = entries[-1] if args.seq is None else by_seq(args.seq)
+        os.makedirs(args.out, exist_ok=True)
+        stem = os.path.join(
+            args.out,
+            f"{_slug(key)}-{entry['seq']}")
+        written = []
+        if args.format in ("chrome", "both"):
+            written.append(export.write_chrome_trace(
+                f"{stem}.trace.json", entry.get("spans") or {}))
+        if args.format in ("prom", "both"):
+            written.append(export.write_prometheus(
+                f"{stem}.prom", entry.get("metrics") or {}))
+        for path in written:
+            print(f"wrote {path}")
+        return 0
+
+    if verb in ("diff", "regress"):
+        if verb == "diff":
+            current = entries[-1] if args.b is None else by_seq(args.b)
+            baseline = by_seq(args.a) if args.a is not None else (
+                entries[-2] if len(entries) > 1 else None)
+        else:
+            current, baseline = entries[-1], (
+                entries[-2] if len(entries) > 1 else None)
+        if baseline is None:
+            print(f"key {key!r} has a single entry — nothing to compare")
+            return 2
+        diff = regress.compare_runs(baseline, current)
+        findings = regress.detect(current, baseline)
+        if verb == "diff" and args.json:
+            print(_strict_json({"key": key, "a": baseline["seq"],
+                                "b": current["seq"], "diff": diff,
+                                "findings": findings}))
+            return 0
+        print(f"{key}: seq {baseline['seq']} (baseline) vs "
+              f"seq {current['seq']}")
+        for name, row in diff["final"].items():
+            if row.get("a") is None or row.get("b") is None:
+                continue
+            print(f"  {name:<28} {row['a']:>12.6g} -> {row['b']:>12.6g}  "
+                  f"({row['delta']:+.4g})")
+        for label in ("elapsed_s", "epoch_s"):
+            row = diff[label]
+            if row["a"] is not None and row["b"] is not None:
+                ratio = f"{row['ratio']:.2f}x" if row["ratio"] else "-"
+                print(f"  {label:<28} {row['a']:>12.4g} -> "
+                      f"{row['b']:>12.4g}  ({ratio})")
+        curve = diff["curve"]
+        if curve["compared"]:
+            print(f"  loss curve: {curve['compared']} shared epochs, "
+                  f"max |Δ| {curve['max_abs_diff']:.3g}")
+        if findings:
+            print(f"\n{len(findings)} regression finding(s):")
+            for finding in findings:
+                print(f"  [{finding['check']}] {finding['detail']}")
+        else:
+            print("\nno regressions detected")
+        if verb == "regress" and args.strict and findings:
+            return 3
+        return 0
+
+    raise AssertionError(f"unhandled obs verb {verb!r}")
+
+
+def _slug(key: str) -> str:
+    """Filesystem-safe stem for export files derived from a run key."""
+    import re
+    return re.sub(r"[^A-Za-z0-9._-]+", "_", key)
+
+
 @contextlib.contextmanager
 def _observability(args):
     """Install the ``--trace`` / ``--profile`` globals for one command.
@@ -418,6 +597,11 @@ def main(argv: list[str] | None = None) -> int:
         # nesting depth, any worker process — checkpoints under this
         # directory, namespaced by its own content-derived run key.
         os.environ["REPRO_CHECKPOINT_DIR"] = args.checkpoint_dir
+    if args.run_dir is not None:
+        # Every ledger hook downstream — fits, denoise passes, experiment
+        # runners, worker processes — reads REPRO_RUN_DIR, so one flag
+        # turns recording on for the whole command.
+        os.environ["REPRO_RUN_DIR"] = args.run_dir
     handler = {
         "datasets": cmd_datasets,
         "generate": cmd_generate,
@@ -426,6 +610,7 @@ def main(argv: list[str] | None = None) -> int:
         "evaluate": cmd_evaluate,
         "experiment": cmd_experiment,
         "profile": cmd_profile,
+        "obs": cmd_obs,
     }[args.command]
     with _observability(args):
         return handler(args)

@@ -18,9 +18,10 @@ import scipy.sparse as sp
 
 from ..graph.graph import Graph, normalized_adjacency
 from ..nn import Adam, Tensor, functional as F, no_grad
-from ..obs import events, metrics, trace
+from ..obs import events, metrics, store, trace
 from ..resilience import faultinject
-from ..resilience.checkpoint import CheckpointManager
+from ..resilience.checkpoint import (CheckpointManager, config_fingerprint,
+                                     run_key)
 from ..resilience.guards import DivergenceGuard, RecoveryPolicy
 from .config import AnECIConfig
 from .encoder import GCNEncoder
@@ -104,7 +105,49 @@ class AnECI:
         training; a directory with no usable snapshot warns and starts
         fresh.  Resume runs restarts serially (their mid-run state lives
         in the parent).
+
+        With ``REPRO_RUN_DIR`` set (CLI: ``--run-dir``) the fit leaves
+        one durable entry in the run ledger — keyed ``fit:<run key>`` —
+        carrying the epoch history, final metrics, span/metric deltas
+        and regression findings against the previous run under the same
+        key (see :mod:`repro.obs.store`).
         """
+        if not store.enabled():
+            return self._fit_impl(graph, callback, workers, resume_from)
+        from ..parallel import resolve_workers
+        cfg = self.config
+        with store.capture_run(
+                "fit", f"fit:{run_key(graph, cfg)}",
+                model="aneci",
+                graph={"name": graph.name, "nodes": graph.num_nodes,
+                       "edges": graph.num_edges,
+                       "features": graph.num_features},
+                config=config_fingerprint(cfg),
+                config_summary={
+                    "num_communities": cfg.num_communities, "lr": cfg.lr,
+                    "epochs": cfg.epochs, "n_init": cfg.n_init,
+                    "seed": cfg.seed, "patience": cfg.patience},
+                dtype=str(cfg.dtype),
+                workers=resolve_workers(workers),
+                resumed=resume_from is not None) as run:
+            self._fit_impl(graph, callback, workers, resume_from)
+            run["epochs"] = len(self.history)
+            run["history"] = [
+                {"epoch": r["epoch"], "restart": r["restart"],
+                 "loss": r["loss"], "modularity": r["modularity"]}
+                for r in self.history]
+            last = self.history[-1] if self.history else {}
+            run["final"] = {
+                "selection_modularity": _finite_or_none(
+                    self.selection_modularity),
+                "loss": _finite_or_none(last.get("loss", np.nan)),
+                "modularity": _finite_or_none(
+                    last.get("modularity", np.nan)),
+            }
+        return self
+
+    def _fit_impl(self, graph: Graph, callback, workers: int | None,
+                  resume_from: str | None) -> "AnECI":
         manager, resume = self._checkpoint_setup(graph, resume_from)
         if resume is not None and resume[1].get("kind") == "final":
             return self._restore_final(graph, *resume)

@@ -20,10 +20,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..graph.graph import Graph
-from ..obs import events, metrics, trace
+from ..obs import events, metrics, store, trace
 from .scores import edge_anomaly_scores
 
 __all__ = ["AnECIPlus", "DenoiseResult", "smoothing_psi"]
+
+
+def _finite_or_none(value: float) -> float | None:
+    """Strict-JSON-safe scalar for ledger entries (±inf/NaN → None)."""
+    value = float(value)
+    return value if np.isfinite(value) else None
 
 
 def smoothing_psi(x: float, alpha: float, beta: float = 0.5,
@@ -80,7 +86,38 @@ class AnECIPlus:
         fits occupy distinct run keys under the same directory — a
         completed stage 1 restores from its final snapshot without
         retraining, a half-done stage 2 continues mid-run.
+
+        With ``REPRO_RUN_DIR`` set the whole pass records a
+        ``denoise:<run key>`` ledger entry (keyed by the *input* graph
+        and the shared stage config); the two stage fits additionally
+        record their own ``fit:`` entries.
         """
+        if not store.enabled():
+            return self._fit_impl(graph, workers, resume_from)
+        from ..resilience.checkpoint import config_fingerprint, run_key
+        cfg = self._factory().config
+        with store.capture_run(
+                "denoise", f"denoise:{run_key(graph, cfg)}",
+                model="aneci+",
+                graph={"name": graph.name, "nodes": graph.num_nodes,
+                       "edges": graph.num_edges,
+                       "features": graph.num_features},
+                config=config_fingerprint(cfg), dtype=str(cfg.dtype),
+                psi={"alpha": self.alpha, "beta": self.beta,
+                     "gamma": self.gamma}) as run:
+            self._fit_impl(graph, workers, resume_from)
+            result = self.denoise_result
+            run["final"] = {
+                "drop_ratio": result.drop_ratio,
+                "edges_dropped": result.num_dropped,
+                "mean_anomaly_score": result.mean_anomaly_score,
+                "stage2_modularity": _finite_or_none(
+                    self.stage2.selection_modularity),
+            }
+        return self
+
+    def _fit_impl(self, graph: Graph, workers: int | None,
+                  resume_from: str | None) -> "AnECIPlus":
         with trace.span("denoise/stage1"):
             self.stage1 = self._factory().fit(graph, workers=workers,
                                               resume_from=resume_from)

@@ -28,7 +28,7 @@ from ..attacks.surrogate import LinearSurrogate
 from ..core import defense_score, newman_modularity
 from ..graph.graph import Graph
 from ..metrics import accuracy
-from ..obs import events, metrics, trace
+from ..obs import events, metrics, store, trace
 from ..parallel import ParallelExecutor
 from ..tasks import (anomaly_auc, communities_from_embedding,
                      evaluate_embedding, isolation_forest_scores)
@@ -66,7 +66,12 @@ def _observed(fn):
 
     The event carries the run's resilience-counter deltas, so a chaos
     run (or a flaky machine) shows *how* the result was produced — e.g.
-    ``recoveries=2, task_retries=1`` — right next to the metrics."""
+    ``recoveries=2, task_retries=1`` — right next to the metrics.
+
+    With ``REPRO_RUN_DIR`` set the result additionally lands in the run
+    ledger as an ``exp:<name>:<graph>`` entry whose ``final`` dict holds
+    every numeric ``method.metric`` cell, so a repeated experiment is
+    regression-checked against its previous outcome."""
 
     @functools.wraps(fn)
     def wrapper(*args, **kwargs):
@@ -74,21 +79,38 @@ def _observed(fn):
         with trace.span(f"experiment/{fn.__name__}"):
             result = fn(*args, **kwargs)
         after = _resilience_counts()
+        deltas = {name: after[name] - before[name]
+                  for name in _RESILIENCE_COUNTERS}
         events.emit("experiment", name=result.name,
                     duration_s=result.duration_s,
                     methods=sorted(result.rows),
-                    faults_injected=after["faults.injected"]
-                    - before["faults.injected"],
-                    recoveries=after["resilience.recoveries"]
-                    - before["resilience.recoveries"],
-                    task_retries=after["parallel.retries"]
-                    - before["parallel.retries"],
-                    pool_fallbacks=after["parallel.fallbacks"]
-                    - before["parallel.fallbacks"],
+                    faults_injected=deltas["faults.injected"],
+                    recoveries=deltas["resilience.recoveries"],
+                    task_retries=deltas["parallel.retries"],
+                    pool_fallbacks=deltas["parallel.fallbacks"],
                     **result.metadata)
+        if store.enabled():
+            store.record(
+                "experiment",
+                f"exp:{result.name}:{result.metadata.get('graph', '')}",
+                final=_flatten_rows(result.rows),
+                elapsed_s=result.duration_s,
+                resilience={k: v for k, v in deltas.items() if v},
+                meta=result.metadata)
         return result
 
     return wrapper
+
+
+def _flatten_rows(rows: dict) -> dict[str, float]:
+    """``{method: {metric: value}}`` → finite ``{"method.metric": value}``."""
+    out: dict[str, float] = {}
+    for method, row in rows.items():
+        for metric, value in row.items():
+            if isinstance(value, (int, float, np.integer, np.floating)) \
+                    and not isinstance(value, bool) and np.isfinite(value):
+                out[f"{method}.{metric}"] = float(value)
+    return out
 
 
 def _classification_seed_task(graph: Graph, seed: int,

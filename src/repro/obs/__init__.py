@@ -20,23 +20,42 @@ listening so the library can stay instrumented permanently:
 ``profile``
     An op-level profiler that wraps :mod:`repro.nn.autograd` to
     attribute forward/backward time and FLOP-ish counts per op kind.
+``store``
+    A persistent, crash-safe **run ledger** (JSONL segments + an atomic
+    index) recording one durable entry per fit/denoise/experiment/
+    benchmark run, keyed by the content-derived run key.  Enabled by
+    ``REPRO_RUN_DIR`` (CLI: global ``--run-dir``); browse with
+    ``repro obs runs list/show/diff/export/tail``.
+``export``
+    Pure-function exporters: Chrome trace-event JSON (Perfetto-loadable,
+    stable path-derived span IDs) from any span tree, Prometheus text
+    format from any metrics snapshot.
+``regress``
+    Automatic regression detection of a fresh run against its own ledger
+    history: loss-curve divergence, final-metric drops, epoch-time
+    ratios — surfaced as ``regression`` events plus the
+    ``obs.regressions`` counter, warn-only.
 
 Nothing in this package imports the rest of :mod:`repro`, so any module
 may instrument itself without creating import cycles.
 """
 
-from . import events, metrics, profile, trace
+from . import events, export, metrics, profile, regress, store, trace
 from .events import EventBus, JsonlSink, MemorySink, emit
+from .export import chrome_trace, prometheus_text, span_id
 from .metrics import (Counter, Gauge, MetricsRegistry, Timer, registry,
                       track_peak_memory)
 from .profile import OpProfiler, profile_ops
+from .store import RunLedger, capture_run, get_ledger
 from .trace import Tracer, span
 
 __all__ = [
-    "events", "metrics", "trace", "profile",
+    "events", "metrics", "trace", "profile", "store", "export", "regress",
     "EventBus", "JsonlSink", "MemorySink", "emit",
     "MetricsRegistry", "Counter", "Gauge", "Timer", "registry",
     "track_peak_memory",
     "Tracer", "span",
     "OpProfiler", "profile_ops",
+    "RunLedger", "capture_run", "get_ledger",
+    "chrome_trace", "prometheus_text", "span_id",
 ]

@@ -77,10 +77,19 @@ class MemorySink:
 class JsonlSink:
     """Writes one JSON object per line to ``path`` (or an open stream).
 
-    Each record is augmented with a ``ts`` wall-clock stamp unless
-    ``timestamps=False``; everything else is written verbatim, so the
-    file content is deterministic apart from the stamps.  Usable as a
-    context manager; :meth:`close` flushes and closes owned files.
+    Each record is augmented with a ``ts`` wall-clock stamp (for
+    cross-run/ledger correlation) and a ``mono`` monotonic stamp (for
+    in-run durations — wall clocks can step) unless ``timestamps=False``;
+    everything else is written verbatim, so the file content is
+    deterministic apart from the stamps.
+
+    The sink is **interrupt-safe**: every record is flushed to the OS as
+    soon as it is written (line buffering), so a crash or ``kill`` loses
+    at most the line being formatted, and a write against a stream that
+    was closed underneath the sink is silently dropped (counted in
+    ``.dropped``) instead of tearing down the instrumented run.  Usable
+    as a context manager; :meth:`close` flushes and closes owned files
+    and is idempotent.
     """
 
     def __init__(self, path_or_stream, timestamps: bool = True):
@@ -92,17 +101,27 @@ class JsonlSink:
             self._owns = True
         self.timestamps = timestamps
         self.count = 0
+        self.dropped = 0
 
     def __call__(self, record: dict) -> None:
         if self.timestamps:
-            record = {"ts": round(time.time(), 6), **record}
-        self._fh.write(json.dumps(record, default=_jsonify) + "\n")
+            record = {"ts": round(time.time(), 6),
+                      "mono": round(time.perf_counter(), 6), **record}
+        try:
+            self._fh.write(json.dumps(record, default=_jsonify) + "\n")
+            self._fh.flush()
+        except (ValueError, OSError):  # closed or broken stream
+            self.dropped += 1
+            return
         self.count += 1
 
     def close(self) -> None:
-        self._fh.flush()
-        if self._owns:
-            self._fh.close()
+        try:
+            self._fh.flush()
+            if self._owns:
+                self._fh.close()
+        except (ValueError, OSError):
+            pass
 
     def __enter__(self) -> "JsonlSink":
         return self

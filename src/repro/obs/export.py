@@ -1,0 +1,180 @@
+"""Telemetry exporters: Chrome trace-event JSON and Prometheus text.
+
+Both exporters are **pure functions of already-captured telemetry** —
+a span ``to_dict()`` tree for the trace, a metrics-registry snapshot for
+Prometheus — so they can run in-process after a fit, from a ledger entry
+years later, or in CI against an uploaded artifact, and always produce
+the same bytes for the same input.
+
+Chrome traces are Perfetto/`chrome://tracing`-loadable: one complete
+(``"ph": "X"``) event per span path, children laid out inside their
+parent's interval, every event carrying a **stable span identity**
+(``args.span_id`` / ``args.parent_id``, digests of the span *path*).
+Path-derived IDs are what make the export coherent across processes:
+a span recorded in worker 7 of a pool and the same span recorded
+serially hash to the same ID, so serial and parallel runs export the
+same tree (the :class:`~repro.parallel.ChildTelemetry` replay contract
+guarantees the merged span trees themselves are equal).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import re
+
+__all__ = ["span_id", "chrome_trace_events", "chrome_trace",
+           "write_chrome_trace", "prometheus_text", "write_prometheus"]
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace events                                                    #
+# --------------------------------------------------------------------- #
+def span_id(path: str) -> str:
+    """Stable 8-hex-digit identity of a span *path* (``"fit/epoch"``).
+
+    Derived from content, not from process-local object identity, so the
+    same logical span gets the same ID in any process and at any worker
+    count.
+    """
+    return hashlib.blake2b(path.encode(), digest_size=4).hexdigest()
+
+
+def chrome_trace_events(spans: dict, pid: int = 1, tid: int = 1,
+                        process_name: str = "repro") -> list[dict]:
+    """Flatten a span ``to_dict()`` tree into trace-event dicts.
+
+    Events are deterministic for a given tree: children are visited in
+    sorted-name order and laid out sequentially inside their parent's
+    interval (scaled down when rounding or merged worker time would
+    overflow it), timestamps are integer microseconds, and the list is
+    sorted by ``(ts, -dur)`` as the trace-event spec recommends.
+    """
+    out: list[dict] = [
+        {"ph": "M", "name": "process_name", "pid": pid, "tid": 0,
+         "args": {"name": process_name}},
+        {"ph": "M", "name": "thread_name", "pid": pid, "tid": tid,
+         "args": {"name": "spans"}},
+    ]
+
+    def walk(children: dict, parent_path: str, start_us: int,
+             budget_us: int | None) -> None:
+        names = sorted(children)
+        durations = {name: max(int(round(
+            float(children[name].get("total_s", 0.0)) * 1e6)), 1)
+            for name in names}
+        total = sum(durations.values())
+        scale = 1.0
+        if budget_us is not None and total > budget_us > 0:
+            scale = budget_us / total
+        cursor = start_us
+        for name in names:
+            node = children[name]
+            path = f"{parent_path}/{name}" if parent_path else name
+            dur = max(int(durations[name] * scale), 1)
+            if budget_us is not None:
+                dur = max(min(dur, start_us + budget_us - cursor), 1)
+            out.append({
+                "name": name, "cat": "span", "ph": "X",
+                "ts": cursor, "dur": dur, "pid": pid, "tid": tid,
+                "args": {
+                    "path": path,
+                    "count": int(node.get("count", 0)),
+                    "total_ms": round(
+                        float(node.get("total_s", 0.0)) * 1e3, 3),
+                    "span_id": span_id(path),
+                    "parent_id": span_id(parent_path) if parent_path
+                    else None,
+                },
+            })
+            walk(node.get("children", {}), path, cursor, dur)
+            cursor += dur
+
+    walk(spans or {}, "", 0, None)
+    metadata = [ev for ev in out if ev["ph"] == "M"]
+    slices = sorted((ev for ev in out if ev["ph"] != "M"),
+                    key=lambda ev: (ev["ts"], -ev["dur"], ev["args"]["path"]))
+    return metadata + slices
+
+
+def chrome_trace(spans: dict, **kwargs) -> dict:
+    """The full Perfetto-loadable JSON object for a span tree."""
+    return {"traceEvents": chrome_trace_events(spans, **kwargs),
+            "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(path: str, spans: dict, **kwargs) -> str:
+    """Serialise :func:`chrome_trace` to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        json.dump(chrome_trace(spans, **kwargs), fh, sort_keys=True)
+    return str(path)
+
+
+# --------------------------------------------------------------------- #
+# Prometheus text format                                                 #
+# --------------------------------------------------------------------- #
+_PROM_INVALID = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str, namespace: str) -> str:
+    """Sanitise a registry metric name into a valid Prometheus name."""
+    flat = _PROM_INVALID.sub("_", f"{namespace}_{name}" if namespace
+                             else name)
+    if not flat or not (flat[0].isalpha() or flat[0] in "_:"):
+        flat = "_" + flat
+    return flat
+
+
+def _prom_value(value: float) -> str:
+    value = float(value)
+    if value != value:
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if value.is_integer() and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+def prometheus_text(snapshot: dict, namespace: str = "repro") -> str:
+    """Render a :meth:`MetricsRegistry.snapshot` in Prometheus exposition
+    text format (version 0.0.4).
+
+    Integers export as counters (``*_total``), floats as gauges, and
+    timer dicts as summaries (``*_seconds_sum`` / ``*_seconds_count``) —
+    the same classification :meth:`MetricsRegistry.merge_snapshot`
+    applies when replaying worker telemetry.
+    """
+    lines: list[str] = []
+    for name in sorted(snapshot):
+        value = snapshot[name]
+        metric = _prom_name(name, namespace)
+        if isinstance(value, dict):  # timer
+            base = f"{metric}_seconds"
+            lines += [
+                f"# HELP {base} Accumulated seconds of timer {name}",
+                f"# TYPE {base} summary",
+                f"{base}_sum {_prom_value(value.get('total_s', 0.0))}",
+                f"{base}_count {int(value.get('count', 0))}",
+            ]
+        elif isinstance(value, float):
+            lines += [
+                f"# HELP {metric} Gauge {name}",
+                f"# TYPE {metric} gauge",
+                f"{metric} {_prom_value(value)}",
+            ]
+        else:
+            lines += [
+                f"# HELP {metric}_total Counter {name}",
+                f"# TYPE {metric}_total counter",
+                f"{metric}_total {_prom_value(value)}",
+            ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(path: str, snapshot: dict,
+                     namespace: str = "repro") -> str:
+    """Serialise :func:`prometheus_text` to ``path``; returns the path."""
+    with open(path, "w") as fh:
+        fh.write(prometheus_text(snapshot, namespace=namespace))
+    return str(path)

@@ -1,0 +1,284 @@
+"""Automatic regression detection against the run ledger.
+
+A fresh run entry is judged against the previous entry recorded under
+the **same run key** — same graph content, same trajectory-relevant
+config, so the repo's determinism contract says the runs should agree:
+
+* **Loss-curve divergence** — the per-epoch loss series must match the
+  baseline's (same seed + same config ⇒ bit-identical history at any
+  worker count).  Divergence means non-determinism crept in or the
+  environment changed underneath the key.
+* **Final-metric drop** — quality metrics (modularity, accuracy, AUC,
+  NMI …) must not fall more than ``REPRO_REGRESS_METRIC_DROP`` below the
+  baseline; loss/time-like metrics must not rise by the same fraction;
+  unrecognised metrics are held to the symmetric band.
+* **Epoch-time ratio** — mean seconds/epoch (from the entry's span tree,
+  falling back to ``elapsed_s / epochs``) must stay within
+  ``REPRO_REGRESS_TIME_RATIO`` of the baseline.  Runs shorter than
+  ``REPRO_REGRESS_MIN_SECONDS`` are exempt: micro-run jitter is noise,
+  not signal.
+
+Findings are emitted as ``regression`` events, counted by the
+``obs.regressions`` counter, surfaced as a ``RuntimeWarning`` — and
+stored inside the fresh entry itself, so ``repro obs show`` displays a
+run's verdict forever.  Detection never fails a run: CI wires it
+warn-only.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+from . import events, metrics
+
+__all__ = ["Tolerances", "epoch_seconds", "final_metrics", "loss_curve",
+           "compare_runs", "detect", "check", "bench_findings"]
+
+#: Final-metric names where bigger is better / worse.  Matched as
+#: substrings of the (dot-flattened) metric name.
+_HIGHER_BETTER = ("modularity", "accuracy", "acc", "auc", "nmi", "f1",
+                  "precision", "recall", "speedup")
+_LOWER_BETTER = ("loss", "time", "elapsed", "_s", "seconds", "error",
+                 "rmse", "bytes")
+
+
+class Tolerances:
+    """Detection thresholds, each overridable by environment variable."""
+
+    def __init__(self, metric_drop: float | None = None,
+                 time_ratio: float | None = None,
+                 curve_tol: float | None = None,
+                 min_seconds: float | None = None):
+        env = os.environ.get
+        #: Allowed relative final-metric movement in the bad direction.
+        self.metric_drop = float(env("REPRO_REGRESS_METRIC_DROP", "0.05")) \
+            if metric_drop is None else float(metric_drop)
+        #: Allowed epoch-time (or elapsed-time) ratio vs the baseline.
+        self.time_ratio = float(env("REPRO_REGRESS_TIME_RATIO", "1.75")) \
+            if time_ratio is None else float(time_ratio)
+        #: Allowed relative per-epoch loss-curve deviation (same key ⇒
+        #: deterministic ⇒ effectively an exact-match check).
+        self.curve_tol = float(env("REPRO_REGRESS_CURVE_TOL", "1e-6")) \
+            if curve_tol is None else float(curve_tol)
+        #: Runs faster than this (both sides) skip the timing checks.
+        self.min_seconds = float(env("REPRO_REGRESS_MIN_SECONDS", "0.05")) \
+            if min_seconds is None else float(min_seconds)
+
+
+# --------------------------------------------------------------------- #
+# Entry accessors                                                        #
+# --------------------------------------------------------------------- #
+def epoch_seconds(entry: dict) -> float | None:
+    """Mean seconds per epoch of a ledger entry.
+
+    Prefers the aggregated ``epoch`` spans in the entry's span tree (the
+    precise measurement); falls back to ``elapsed_s / epochs``.
+    """
+    total, count = _collect_epoch_spans(entry.get("spans") or {})
+    if count:
+        return total / count
+    elapsed = entry.get("elapsed_s")
+    epochs = entry.get("epochs") or len(entry.get("history") or [])
+    if elapsed and epochs:
+        return float(elapsed) / int(epochs)
+    return None
+
+
+def _collect_epoch_spans(spans: dict) -> tuple[float, int]:
+    total, count = 0.0, 0
+    for name, node in spans.items():
+        if name == "epoch":
+            total += float(node.get("total_s", 0.0))
+            count += int(node.get("count", 0))
+        child_total, child_count = _collect_epoch_spans(
+            node.get("children", {}))
+        total += child_total
+        count += child_count
+    return total, count
+
+
+def final_metrics(entry: dict) -> dict[str, float]:
+    """The entry's finite numeric final metrics."""
+    out = {}
+    for name, value in (entry.get("final") or {}).items():
+        if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                and value == value and abs(value) != float("inf"):
+            out[name] = float(value)
+    return out
+
+
+def loss_curve(entry: dict) -> list[float]:
+    """Per-epoch loss series from the entry's recorded history."""
+    return [float(record["loss"]) for record in entry.get("history") or []
+            if isinstance(record.get("loss"), (int, float))]
+
+
+# --------------------------------------------------------------------- #
+# Diffing                                                                #
+# --------------------------------------------------------------------- #
+def compare_runs(a: dict, b: dict) -> dict:
+    """Structured diff of two ledger entries (``a`` = older/baseline).
+
+    Returns ``final`` per-metric rows (values, delta, ratio), the
+    elapsed and per-epoch timing ratios, and loss-curve deviation stats
+    over the shared epoch prefix.
+    """
+    fa, fb = final_metrics(a), final_metrics(b)
+    final = {}
+    for name in sorted(set(fa) | set(fb)):
+        row: dict = {"a": fa.get(name), "b": fb.get(name)}
+        if row["a"] is not None and row["b"] is not None:
+            row["delta"] = row["b"] - row["a"]
+            row["ratio"] = row["b"] / row["a"] if row["a"] else None
+        final[name] = row
+    ea, eb = epoch_seconds(a), epoch_seconds(b)
+    la, lb = a.get("elapsed_s"), b.get("elapsed_s")
+    curve_a, curve_b = loss_curve(a), loss_curve(b)
+    shared = min(len(curve_a), len(curve_b))
+    max_abs = max((abs(curve_a[i] - curve_b[i]) for i in range(shared)),
+                  default=0.0)
+    scale = max((abs(v) for v in curve_a[:shared]), default=0.0) or 1.0
+    return {
+        "final": final,
+        "epoch_s": {"a": ea, "b": eb,
+                    "ratio": (eb / ea) if ea and eb is not None else None},
+        "elapsed_s": {"a": la, "b": lb,
+                      "ratio": (lb / la) if la and lb is not None else None},
+        "curve": {"epochs_a": len(curve_a), "epochs_b": len(curve_b),
+                  "compared": shared, "max_abs_diff": max_abs,
+                  "max_rel_diff": max_abs / scale},
+    }
+
+
+def _direction(name: str) -> str:
+    lowered = name.lower()
+    if any(token in lowered for token in _LOWER_BETTER):
+        return "lower"
+    if any(token in lowered for token in _HIGHER_BETTER):
+        return "higher"
+    return "either"
+
+
+def detect(current: dict, baseline: dict,
+           tolerances: Tolerances | None = None) -> list[dict]:
+    """Regression findings of ``current`` against ``baseline``.
+
+    Each finding is a dict with ``check`` (``final_metric`` /
+    ``loss_curve`` / ``epoch_time``), the offending ``field``, both
+    values and a human-readable ``detail``.  An empty list means the
+    fresh run is within tolerance of its own history.
+    """
+    tol = tolerances or Tolerances()
+    findings: list[dict] = []
+    diff = compare_runs(baseline, current)
+
+    for name, row in diff["final"].items():
+        base, curr = row.get("a"), row.get("b")
+        if base is None or curr is None:
+            continue
+        scale = abs(base) or 1.0
+        rel = (curr - base) / scale
+        direction = _direction(name)
+        bad = ((direction == "higher" and rel < -tol.metric_drop)
+               or (direction == "lower" and rel > tol.metric_drop)
+               or (direction == "either" and abs(rel) > tol.metric_drop))
+        if bad:
+            findings.append({
+                "check": "final_metric", "field": name,
+                "baseline": base, "current": curr,
+                "delta": curr - base,
+                "detail": f"{name} moved {rel:+.1%} vs baseline "
+                          f"({base:.6g} -> {curr:.6g})"})
+
+    curve = diff["curve"]
+    if curve["compared"] and curve["max_rel_diff"] > tol.curve_tol:
+        findings.append({
+            "check": "loss_curve", "field": "loss",
+            "baseline": curve["compared"], "current": curve["compared"],
+            "delta": curve["max_abs_diff"],
+            "detail": f"loss curve diverged from the baseline over "
+                      f"{curve['compared']} shared epochs "
+                      f"(max |Δ| {curve['max_abs_diff']:.3g}, relative "
+                      f"{curve['max_rel_diff']:.3g}) — same run key "
+                      f"implies identical trajectories"})
+
+    base_s, curr_s = diff["epoch_s"]["a"], diff["epoch_s"]["b"]
+    label = "epoch_s"
+    if base_s is None or curr_s is None:
+        base_s, curr_s = diff["elapsed_s"]["a"], diff["elapsed_s"]["b"]
+        label = "elapsed_s"
+    base_total = baseline.get("elapsed_s") or 0.0
+    curr_total = current.get("elapsed_s") or 0.0
+    if (base_s and curr_s is not None
+            and max(base_total, curr_total) >= tol.min_seconds
+            and curr_s / base_s > tol.time_ratio):
+        findings.append({
+            "check": "epoch_time", "field": label,
+            "baseline": base_s, "current": curr_s,
+            "ratio": curr_s / base_s,
+            "detail": f"{label} slowed {curr_s / base_s:.2f}x vs baseline "
+                      f"({base_s:.4g}s -> {curr_s:.4g}s, tolerance "
+                      f"{tol.time_ratio:.2f}x)"})
+    return findings
+
+
+def check(current: dict, baseline: dict | None,
+          tolerances: Tolerances | None = None, *, emit: bool = True,
+          warn: bool = True) -> list[dict]:
+    """Run :func:`detect` and surface the findings.
+
+    Emits one ``regression`` event per finding, bumps the
+    ``obs.regressions`` counter and (optionally) warns — never raises,
+    so recording a run cannot fail the run.
+    """
+    if baseline is None:
+        return []
+    findings = detect(current, baseline, tolerances)
+    if not findings:
+        return findings
+    if emit:
+        metrics.registry().counter("obs.regressions").inc(len(findings))
+        for finding in findings:
+            events.emit("regression", key=current.get("key"),
+                        run_kind=current.get("kind"), **finding)
+    if warn:
+        details = "; ".join(f["detail"] for f in findings)
+        warnings.warn(
+            f"run {current.get('key')!r} regressed vs its ledger baseline: "
+            f"{details}", RuntimeWarning, stacklevel=3)
+    return findings
+
+
+# --------------------------------------------------------------------- #
+# Benchmark trajectories                                                 #
+# --------------------------------------------------------------------- #
+def bench_findings(current: dict[str, float],
+                   history: list[dict[str, float]],
+                   threshold: float = 0.30) -> list[dict]:
+    """Judge per-case benchmark timings against their ledger history.
+
+    ``current`` maps case names to seconds (e.g. ``after_s`` per
+    ``BENCH_*.json`` case); ``history`` is the same mapping from each
+    previous ledger entry, oldest first.  The baseline per case is the
+    **median** of its history — robust to one noisy CI runner — and a
+    case regresses when it exceeds the baseline by more than
+    ``threshold``.
+    """
+    findings = []
+    for case in sorted(current):
+        series = sorted(h[case] for h in history
+                        if isinstance(h.get(case), (int, float)))
+        if not series:
+            continue
+        baseline = series[len(series) // 2]
+        value = float(current[case])
+        if baseline and value / baseline > 1.0 + threshold:
+            findings.append({
+                "check": "bench_time", "field": case,
+                "baseline": baseline, "current": value,
+                "ratio": value / baseline,
+                "detail": f"{case} slowed {value / baseline:.2f}x vs the "
+                          f"median of {len(series)} ledger run(s) "
+                          f"({baseline:.4g}s -> {value:.4g}s)"})
+    return findings

@@ -122,12 +122,19 @@ class ChildTelemetry:
     ``events`` are the raw event-bus records (minus the ``kind`` key
     split out), ``metrics`` is a registry snapshot and ``spans`` a
     tracer ``to_dict()`` tree — everything the task emitted between
-    entering and leaving the worker-side wrapper.
+    entering and leaving the worker-side wrapper.  ``task`` and
+    ``attempt`` identify which task (and which retry) produced the
+    capture, giving every worker-side span tree a stable cross-process
+    identity; replay itself stays index-ordered and annotation-free, so
+    the merged stream is bit-identical to a serial run (span *paths*
+    are the stable span IDs — see :func:`repro.obs.export.span_id`).
     """
 
     events: list[dict] = field(default_factory=list)
     metrics: dict = field(default_factory=dict)
     spans: dict = field(default_factory=dict)
+    task: int | None = None
+    attempt: int = 0
 
     def replay(self) -> None:
         """Re-emit the captured telemetry into the calling process."""
@@ -183,7 +190,8 @@ def _run_in_worker(fn: Callable, index: int, args: tuple,
         index, value,
         ChildTelemetry(events=sink.records,
                        metrics=metrics.registry().snapshot(),
-                       spans=tracer.to_dict()))
+                       spans=tracer.to_dict(),
+                       task=index, attempt=attempt))
 
 
 #: Pool-level failures that trigger the serial fallback.  Task-level

@@ -39,7 +39,8 @@ from ..obs import events, metrics
 from . import faultinject
 
 __all__ = ["CheckpointError", "CheckpointManager", "write_checkpoint",
-           "read_checkpoint", "config_key", "graph_fingerprint", "run_key",
+           "read_checkpoint", "config_key", "config_fingerprint",
+           "graph_fingerprint", "run_key",
            "default_checkpoint_every", "default_checkpoint_keep"]
 
 MAGIC = b"RPCKPT1\n"
@@ -141,6 +142,15 @@ def config_key(config) -> str:
     items = sorted((k, repr(v)) for k, v in fields.items()
                    if k not in _NON_TRAJECTORY_FIELDS)
     return repr(items)
+
+
+def config_fingerprint(config) -> str:
+    """Short digest of :func:`config_key` — the config half of the run
+    identity, recorded on its own in run-ledger entries so two runs can
+    be told apart as "same graph, different config" at a glance."""
+    import hashlib
+    return hashlib.blake2b(config_key(config).encode(),
+                           digest_size=8).hexdigest()
 
 
 def graph_fingerprint(graph) -> str:

@@ -13,8 +13,16 @@ A missing baseline, or a baseline written by a smoke run (``"smoke":
 true``), is not an error: CI compares against artifacts that may not
 exist yet, so those cases print a note and exit 0.
 
+``--ledger DIR`` additionally judges the current payload against the
+**run-ledger history** of the same benchmark (the median ``after_s`` per
+case across every recorded run — robust to one noisy runner where a
+single-baseline diff is not) and records the fresh timings as a new
+``bench:<benchmark>`` ledger entry, so the history grows with every CI
+run that uploads the ledger artifact.
+
 Run:  python tools/bench_compare.py BENCH_train.json /tmp/BENCH_train.json
       python tools/bench_compare.py old.json new.json --threshold 0.25 --warn-only
+      python tools/bench_compare.py BENCH_train.json new.json --ledger /tmp/run-ledger
 """
 
 from __future__ import annotations
@@ -22,6 +30,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from pathlib import Path
 
 
@@ -65,6 +74,36 @@ def format_table(rows: list[tuple]) -> str:
     return "\n".join(lines)
 
 
+def judge_ledger(directory: Path, payload: dict,
+                 threshold: float) -> list[dict]:
+    """Judge ``payload`` against its ledger history, then record it.
+
+    Smoke payloads get their own key suffix so shrunken-case timings
+    never pollute the full-size history (and vice versa).
+    """
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+    from repro.obs import regress, store
+    from repro.obs.store import RunLedger
+
+    key = f"bench:{payload.get('benchmark', 'unknown')}"
+    if payload.get("smoke"):
+        key += ":smoke"
+    current = {case["case"]: float(case["after_s"])
+               for case in payload.get("cases", []) if "after_s" in case}
+    ledger = RunLedger(str(directory))
+    history = [entry.get("final") or {} for entry in ledger.entries(key)]
+    findings = regress.bench_findings(current, history, threshold)
+    ledger.append({"kind": "benchmark", "key": key,
+                   "ts": round(time.time(), 6), "git": store.git_describe(),
+                   "final": current, "regressions": findings})
+    print(f"\nledger: {len(history)} prior run(s) under {key!r} "
+          f"in {directory}; recorded seq "
+          f"{ledger.summaries(key)[-1]['seq']}")
+    for finding in findings:
+        print(f"  [ledger] {finding['detail']}")
+    return findings
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         description="Diff two BENCH_train.json files by after_s per case.")
@@ -78,34 +117,49 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but always exit 0 "
                              "(for noisy shared CI runners)")
+    parser.add_argument("--ledger", type=Path, default=None, metavar="DIR",
+                        help="run-ledger directory: also judge the current "
+                             "payload against the benchmark's recorded "
+                             "history (median per case) and append it as a "
+                             "new ledger entry")
     args = parser.parse_args(argv)
 
+    curr_payload = load_payload(args.current)
+    ledger_findings = []
+    if args.ledger is not None:
+        ledger_findings = judge_ledger(args.ledger, curr_payload,
+                                       args.threshold)
+
+    regressions: list[str] = []
     if not args.baseline.exists():
         print(f"no baseline: {args.baseline} does not exist — nothing to "
               "compare against yet, skipping")
-        return 0
-    base_payload = load_payload(args.baseline)
-    if base_payload.get("smoke"):
-        print(f"no baseline: {args.baseline} was written by a smoke run — "
-              "its shrunken cases are not comparable, skipping")
-        return 0
-    curr_payload = load_payload(args.current)
-    if base_payload.get("benchmark") != curr_payload.get("benchmark"):
-        print(f"note: comparing different benchmarks "
-              f"({base_payload.get('benchmark')} vs "
-              f"{curr_payload.get('benchmark')}) — only shared case names "
-              "line up")
-    if base_payload.get("smoke") != curr_payload.get("smoke"):
-        print("note: smoke flags differ between the two files — case "
-              "configs are not the same size, ratios are indicative only")
-    rows, regressions = compare(cases_by_name(base_payload),
-                                cases_by_name(curr_payload), args.threshold)
-    print(format_table(rows))
+    else:
+        base_payload = load_payload(args.baseline)
+        if base_payload.get("smoke"):
+            print(f"no baseline: {args.baseline} was written by a smoke "
+                  "run — its shrunken cases are not comparable, skipping")
+        else:
+            if base_payload.get("benchmark") != curr_payload.get("benchmark"):
+                print(f"note: comparing different benchmarks "
+                      f"({base_payload.get('benchmark')} vs "
+                      f"{curr_payload.get('benchmark')}) — only shared case "
+                      "names line up")
+            if base_payload.get("smoke") != curr_payload.get("smoke"):
+                print("note: smoke flags differ between the two files — "
+                      "case configs are not the same size, ratios are "
+                      "indicative only")
+            rows, regressions = compare(cases_by_name(base_payload),
+                                        cases_by_name(curr_payload),
+                                        args.threshold)
+            print(format_table(rows))
 
-    if regressions:
+    flagged = len(regressions) + len(ledger_findings)
+    if flagged:
         verb = "warning" if args.warn_only else "error"
-        print(f"\n{verb}: {len(regressions)} case(s) regressed beyond "
-              f"+{args.threshold:.0%}: {', '.join(regressions)}")
+        names = regressions + [f["field"] for f in ledger_findings]
+        print(f"\n{verb}: {flagged} case(s) regressed beyond "
+              f"+{args.threshold:.0%}: {', '.join(names)}")
         return 0 if args.warn_only else 1
     print("\nno regressions")
     return 0

@@ -113,6 +113,44 @@ process-wide tracer and `save_results(name, ...)` writes the aggregated
 span tree plus the metrics snapshot to
 `benchmarks/results/<name>.timing.json` next to each benchmark's result
 JSON, then resets both so every benchmark gets its own breakdown.
+
+### Run ledger & exporters
+
+Set `REPRO_RUN_DIR` (CLI: global `--run-dir`, bare form →
+`.repro/runs/`) and every fit / denoise pass / experiment runner /
+benchmark leaves one durable entry in an append-only **run ledger**
+(JSONL segments + an atomic index, the same tmp+fsync+rename discipline
+as checkpoints): config fingerprint, dtype, worker count, git describe,
+per-epoch loss/modularity history, final metrics, the span tree and
+metric **deltas** attributable to the run, and the resilience-counter
+deltas.  Entries are keyed by kind-qualified content-derived run keys
+(`fit:<run key>`, `denoise:<run key>`, `exp:<name>:<graph>`,
+`bench:<name>`), so re-running the same (graph, config) appends to the
+same history.
+
+```bash
+python -m repro --run-dir embed --method aneci --out z.npy  # record
+python -m repro obs runs list                # one line per entry
+python -m repro obs show fit                 # full entry JSON
+python -m repro obs diff fit                 # newest vs previous
+python -m repro obs export fit --out traces/ # Chrome trace + Prometheus
+python -m repro obs tail -n 5                # newest entries as JSONL
+python -m repro obs regress fit --strict     # exit 3 on findings
+```
+
+`repro.obs.export` turns any span tree into Perfetto-loadable Chrome
+trace-event JSON (stable path-derived `span_id`s, identical across
+serial and pooled runs) and any metrics snapshot into Prometheus text
+format.  `repro.obs.regress` judges each fresh entry against the
+previous entry under the same key — loss-curve divergence (same key ⇒
+deterministic ⇒ exact match), final-metric drops beyond
+`REPRO_REGRESS_METRIC_DROP`, epoch-time ratios beyond
+`REPRO_REGRESS_TIME_RATIO` (runs shorter than
+`REPRO_REGRESS_MIN_SECONDS` are exempt) — emitting `regression` events
+and the `obs.regressions` counter, warn-only.  `tools/bench_compare.py
+--ledger DIR` extends the same idea to tracked `BENCH_*.json`
+benchmarks, judging each payload against the median of its recorded
+history.
 """,
     "repro.parallel": """\
 ### Parallelism guide
