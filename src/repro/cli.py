@@ -39,6 +39,11 @@ merging, so any command's output is identical at any worker count.
 variable, else float64) selects the numeric precision of the training
 path for every model the command builds.
 
+``--backend {numpy,compiled}`` (default: the ``REPRO_BACKEND``
+environment variable, else numpy) selects the kernel backend the
+training hot loops dispatch to; either choice produces bit-identical
+embeddings, so it only changes speed.
+
 ``--checkpoint-dir PATH`` (default: the ``REPRO_CHECKPOINT_DIR``
 environment variable, else off) makes every fit write crash-safe
 snapshots under PATH; ``repro embed --resume`` continues an interrupted
@@ -77,6 +82,11 @@ def build_parser() -> argparse.ArgumentParser:
                         default=None,
                         help="numeric precision of the training path "
                              "(default: $REPRO_DTYPE, else float64)")
+    parser.add_argument("--backend", choices=["numpy", "compiled"],
+                        default=None,
+                        help="kernel backend for the training hot loops "
+                             "(default: $REPRO_BACKEND, else numpy; "
+                             "results are bit-identical either way)")
     parser.add_argument("--checkpoint-dir", default=None, metavar="PATH",
                         help="write crash-safe training snapshots under "
                              "PATH (default: $REPRO_CHECKPOINT_DIR, else "
@@ -374,12 +384,14 @@ def cmd_profile(args) -> int:
     total is the profiled share of the traced ``fit`` span (reported as
     coverage so regressions in un-profiled code stand out).
     """
+    from .nn import backend as kernel_backend
     from .obs import profile as op_profile, trace
     from .parallel import resolve_workers
     graph = _load(args)
     method = _build_method(args.method, graph, args.epochs, args.seed)
     workers = resolve_workers()
     tracer = trace.Tracer()
+    kernel_backend.reset_op_counts()
     with trace.activate(tracer), op_profile.profile_ops() as prof:
         method.fit(graph)
 
@@ -387,10 +399,13 @@ def cmd_profile(args) -> int:
     fit_s = fit_node.total_s if fit_node is not None else tracer.total_seconds()
     op_s = prof.total_seconds()
     coverage = op_s / fit_s if fit_s else 0.0
+    spec = getattr(getattr(method, "config", None), "backend", None)
+    backend = kernel_backend.backend_info(kernel_backend.resolve_backend(spec))
     if getattr(args, "json", False):
         print(json.dumps({"command": "profile", "method": args.method,
                           "dataset": args.dataset, "scale": args.scale,
                           "epochs": args.epochs, "workers": workers,
+                          "backend": backend,
                           "profile": prof.to_dict(),
                           "spans": tracer.to_dict(),
                           "fit_s": fit_s, "op_coverage": coverage}))
@@ -401,6 +416,14 @@ def cmd_profile(args) -> int:
     print(prof.report(top=args.top))
     print(f"\ntraced wall time: {fit_s:.4f}s   "
           f"op coverage: {100.0 * coverage:.1f}%\n")
+    dispatched = {op: c for op, c in backend["ops"].items()
+                  if c["fused"] or c["numpy"]}
+    dispatch = "  ".join(
+        f"{op}={c['fused']}f/{c['numpy']}n"
+        for op, c in sorted(dispatched.items())) or "none"
+    print(f"kernel backend: {backend['backend']} "
+          f"(numba {'available' if backend['numba_available'] else 'absent'})"
+          f"   dispatch (fused/numpy): {dispatch}\n")
     print(tracer.report())
     return 0
 
@@ -592,6 +615,11 @@ def main(argv: list[str] | None = None) -> int:
         # (including in worker processes) reads REPRO_DTYPE as its
         # default precision.
         os.environ["REPRO_DTYPE"] = args.dtype
+    if args.backend is not None:
+        # Same pattern again: every AnECIConfig built downstream reads
+        # REPRO_BACKEND as its default kernel backend; bit-identical by
+        # contract, so this only changes speed.
+        os.environ["REPRO_BACKEND"] = args.backend
     if args.checkpoint_dir is not None:
         # And again: every fit the command triggers — any method, any
         # nesting depth, any worker process — checkpoints under this

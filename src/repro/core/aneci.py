@@ -18,6 +18,7 @@ import scipy.sparse as sp
 
 from ..graph.graph import Graph, normalized_adjacency
 from ..nn import Adam, Tensor, functional as F, no_grad
+from ..nn.backend import use_backend
 from ..obs import events, metrics, store, trace
 from ..resilience import faultinject
 from ..resilience.checkpoint import (CheckpointManager, config_fingerprint,
@@ -265,7 +266,10 @@ class AnECI:
     def _fit_once(self, graph: Graph, callback, seed: int,
                   restart: int = 0, manager=None, resume=None,
                   fit_ctx=None) -> "AnECI":
-        with trace.span("fit"):
+        # The kernel backend is resolved exactly once per fit; every
+        # dispatched op below (spmm, fused layers/loss, softmax,
+        # optimiser steps, node sampling) routes through it.
+        with trace.span("fit"), use_backend(self.config.backend):
             return self._fit_once_traced(graph, callback, seed, restart,
                                          manager, resume, fit_ctx)
 
@@ -427,8 +431,7 @@ class AnECI:
             logits = p @ p.T
             return F.binary_cross_entropy_with_logits(
                 logits, workspace.dense_target(), "mean")
-        idx = rng.choice(p.shape[0], size=workspace.sample_nodes,
-                         replace=False)
+        idx = workspace.sample_indices(rng)
         block = p[idx]
         logits = block @ block.T
         return F.binary_cross_entropy_with_logits(
@@ -569,7 +572,7 @@ class AnECI:
         adj_norm = self._inference_adj_norm(graph)
         dtype = np.dtype(self.config.dtype)
         self.encoder.eval()
-        with no_grad():
+        with no_grad(), use_backend(self.config.backend):
             z = self.encoder(
                 Tensor(np.asarray(graph.features, dtype=dtype)), adj_norm)
         return z.data.copy()

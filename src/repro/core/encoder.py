@@ -34,9 +34,12 @@ class GCNEncoder(Module):
         h = x
         last = len(self.convs) - 1
         for i, conv in enumerate(self.convs):
-            h = conv(h, adj_norm)
-            if i != last:
-                h = h.leaky_relu(self.negative_slope)
-                if self.dropout is not None:
-                    h = self.dropout(h)
+            # Hidden layers hand the activation slope to the conv so the
+            # LeakyReLU fuses into the layer's single graph node; the
+            # final layer stays linear (embedding/membership head).
+            h = conv(h, adj_norm,
+                     negative_slope=None if i == last
+                     else self.negative_slope)
+            if i != last and self.dropout is not None:
+                h = self.dropout(h)
         return h

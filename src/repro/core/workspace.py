@@ -32,6 +32,8 @@ import scipy.sparse as sp
 from ..graph.graph import Graph, normalized_adjacency
 from ..graph.proximity import high_order_proximity, katz_proximity
 from ..nn.autograd import cached_transpose
+from ..nn.backend import NodeSampler
+from ..nn.backend import active as _active_backend
 from ..obs import events, metrics, trace
 from .config import AnECIConfig
 from .modularity import modularity_loss_terms
@@ -123,6 +125,9 @@ class FitWorkspace:
     sample_nodes: int | None
     recon_dense: np.ndarray | None
     dtype: np.dtype = np.dtype(np.float64)
+    #: Lazily built preallocated-buffer sampler for the sampled
+    #: reconstruction path (see :class:`repro.nn.backend.NodeSampler`).
+    sampler: NodeSampler | None = None
 
     def dense_target(self) -> np.ndarray:
         """The full dense reconstruction target (full-graph path only)."""
@@ -141,6 +146,24 @@ class FitWorkspace:
         if self.recon_dense is not None:
             return self.recon_dense[np.ix_(idx, idx)]
         return self.recon_target[idx][:, idx].toarray()
+
+    def sample_indices(self, rng: np.random.Generator) -> np.ndarray:
+        """Per-epoch node sample for the sampled reconstruction path.
+
+        Dispatches through the active kernel backend: the numpy backend
+        calls ``rng.choice(n, size=k, replace=False)`` exactly as the
+        training loop always has; the compiled backend consumes the
+        identical bit-stream through the workspace's preallocated
+        :class:`~repro.nn.backend.NodeSampler` buffers (self-verified,
+        falling back to ``rng.choice`` on any mismatch).  Either way the
+        index stream — and the generator state after it — is
+        bit-identical.
+        """
+        if self.sample_nodes is None:
+            raise RuntimeError("workspace has no sampled path")
+        if self.sampler is None:
+            self.sampler = NodeSampler(self.num_nodes, self.sample_nodes)
+        return _active_backend().sample_without_replacement(self.sampler, rng)
 
 
 def build_workspace(graph: Graph, config: AnECIConfig,

@@ -14,13 +14,20 @@ and round once (a float32 model is its float64 twin's rounding), and
 optimiser state follows each parameter's dtype.  Model-level selection
 threads through ``AnECIConfig.dtype`` / the ``REPRO_DTYPE`` environment
 variable / the CLI's global ``--dtype`` flag.
+
+**Backends.**  Every hot-loop kernel (sparse products, the fused GCN
+layer and BCE loss, softmax, optimiser steps) dispatches through
+:mod:`repro.nn.backend`: ``numpy`` is the bit-exact reference, and
+``compiled`` swaps in numba-parallel kernels — probed byte-identical at
+first use, falling back per-op to the reference — selected via
+``AnECIConfig.backend`` / ``REPRO_BACKEND`` / the CLI ``--backend`` flag.
 """
 
-from . import functional, init
+from . import backend, functional, init
 from .autograd import (Tensor, cached_transpose, concat, default_dtype,
                        dtype_matched_csr, fused_bce_with_logits,
-                       get_default_dtype, no_grad, resolve_dtype, spmm,
-                       stable_softmax, tensor)
+                       fused_gcn_layer, get_default_dtype, no_grad,
+                       resolve_dtype, spmm, stable_softmax, tensor)
 from .layers import (Bilinear, Dropout, GCNConv, Linear, Module, Parameter,
                      Sequential)
 from .optim import SGD, Adam, Optimizer
@@ -28,12 +35,12 @@ from .schedulers import CosineAnnealingLR, LinearWarmup, Scheduler, StepLR
 
 __all__ = [
     "Tensor", "tensor", "no_grad", "spmm", "concat",
-    "fused_bce_with_logits", "cached_transpose",
+    "fused_bce_with_logits", "fused_gcn_layer", "cached_transpose",
     "resolve_dtype", "get_default_dtype", "default_dtype",
     "stable_softmax", "dtype_matched_csr",
     "Module", "Parameter", "Linear", "GCNConv", "Dropout", "Sequential",
     "Bilinear",
     "Optimizer", "SGD", "Adam",
     "Scheduler", "StepLR", "CosineAnnealingLR", "LinearWarmup",
-    "functional", "init",
+    "functional", "init", "backend",
 ]

@@ -26,8 +26,10 @@ from typing import Callable, Iterable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
+from .backend import active as _active_backend, stable_softmax
+
 __all__ = ["Tensor", "tensor", "no_grad", "is_grad_enabled", "spmm",
-           "fused_bce_with_logits", "cached_transpose",
+           "fused_bce_with_logits", "fused_gcn_layer", "cached_transpose",
            "transpose_cache_size", "clear_transpose_cache",
            "transpose_cache_disabled", "legacy_graph_cycles",
            "resolve_dtype", "get_default_dtype", "default_dtype",
@@ -134,18 +136,6 @@ def _as_array(value, dtype: np.dtype | None = None) -> np.ndarray:
             return np.asarray(value)
         return np.asarray(value, dtype=_DEFAULT_DTYPE)
     return np.asarray(value, dtype=_DEFAULT_DTYPE)
-
-
-def stable_softmax(values: np.ndarray, axis: int = -1) -> np.ndarray:
-    """Max-shifted softmax of a plain numpy array, preserving its dtype.
-
-    The single softmax implementation shared by :meth:`Tensor.softmax`
-    (the differentiable path) and numpy-side consumers such as
-    :meth:`repro.core.AnECI.membership` — both see bit-identical values.
-    """
-    shifted = values - values.max(axis=axis, keepdims=True)
-    exp = np.exp(shifted)
-    return exp / exp.sum(axis=axis, keepdims=True)
 
 
 def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
@@ -543,11 +533,12 @@ class Tensor:
         return Tensor._make(self.data * scale, (self,), backward)
 
     def softmax(self, axis: int = -1) -> "Tensor":
-        value = stable_softmax(self.data, axis=axis)
+        backend = _active_backend()
+        value = backend.softmax(self.data, axis=axis)
 
         def backward(g):
-            dot = (g * value).sum(axis=axis, keepdims=True)
-            self._accumulate(value * (g - dot), owned=True)
+            self._accumulate(backend.softmax_backward(g, value, axis=axis),
+                             owned=True)
 
         return Tensor._make(value, (self,), backward)
 
@@ -708,10 +699,53 @@ def spmm(matrix: sp.spmatrix, x: Tensor,
         else:
             transpose = matrix.T.tocsr()
 
-    def backward(g):
-        x._accumulate(transpose @ g, owned=True)
+    backend = _active_backend()
 
-    return Tensor._make(matrix @ x.data, (x,), backward)
+    def backward(g):
+        x._accumulate(backend.spmm_backward(transpose, g), owned=True)
+
+    return Tensor._make(backend.spmm_forward(matrix, x.data), (x,), backward)
+
+
+def fused_gcn_layer(x: Tensor, weight: Tensor, matrix: sp.spmatrix,
+                    bias: Tensor | None = None,
+                    negative_slope: float | None = None) -> Tensor:
+    """One GCN layer — ``Ā (x W) [+ b]`` with an optional LeakyReLU — as
+    a *single* autograd node.
+
+    Evaluates exactly the expressions of the composed
+    ``spmm(matrix, x @ W) + b`` / ``.leaky_relu(slope)`` chain (same
+    association orders, so values and gradients are bit-identical) but
+    records one graph node instead of up to four, and lets the active
+    backend fuse the sparse product with the activation epilogue.  The
+    dense GEMMs stay on BLAS: the backend only owns the sparse product
+    and the elementwise epilogue.
+    """
+    if not sp.issparse(matrix):
+        raise TypeError("fused_gcn_layer expects a scipy sparse matrix")
+    matrix = matrix.tocsr()
+    if matrix.dtype != x.data.dtype and x.data.dtype in _SUPPORTED_DTYPES:
+        matrix = dtype_matched_csr(matrix, x.data.dtype)
+    if _TRANSPOSE_CACHE_ENABLED:
+        transpose = cached_transpose(matrix)
+    else:
+        transpose = matrix.T.tocsr()
+    backend = _active_backend()
+    support = x.data @ weight.data
+    value, scale = backend.gcn_layer_forward(
+        matrix, support, None if bias is None else bias.data, negative_slope)
+    parents = (x, weight) if bias is None else (x, weight, bias)
+    x_data, w_data = x.data, weight.data
+
+    def backward(g):
+        gsupport, gpre = backend.gcn_layer_backward(transpose, g, scale)
+        if bias is not None:
+            bias._accumulate(gpre)
+        if x.requires_grad:
+            x._accumulate(gsupport @ w_data.T, owned=True)
+        weight._accumulate(x_data.T @ gsupport, owned=True)
+
+    return Tensor._make(value, parents, backward)
 
 
 # --------------------------------------------------------------------- #
@@ -738,35 +772,13 @@ def fused_bce_with_logits(logits: Tensor, target: np.ndarray | Tensor,
         t = t.astype(x.dtype)
     if weights is not None:
         weights = np.asarray(weights, dtype=x.dtype)
-    mask = x > 0
-    exp_neg_abs = np.exp(-np.abs(x))
-    denom = exp_neg_abs + 1.0
-    elementwise = (x * mask - x * t) + np.log(denom)
-    if weights is not None:
-        elementwise = elementwise * weights
-    if reduction == "none":
-        value = elementwise
-        scale = None
-    elif reduction == "sum":
-        value = elementwise.sum()
-        scale = 1.0
-    elif reduction == "mean":
-        value = elementwise.sum() * (1.0 / elementwise.size)
-        scale = 1.0 / elementwise.size
-    else:
+    if reduction not in ("none", "sum", "mean"):
         raise ValueError(f"unknown reduction: {reduction!r}")
+    backend = _active_backend()
+    value, ctx = backend.bce_with_logits_forward(x, t, weights, reduction)
 
     def backward(g):
-        if scale is None:
-            upstream = g
-        else:
-            upstream = np.broadcast_to(g * scale, x.shape)
-        if weights is not None:
-            upstream = upstream * weights
-        dv = upstream / denom
-        grad = upstream * mask
-        grad = grad + (-upstream) * t
-        grad = grad + (-(dv * exp_neg_abs)) * np.sign(x)
+        grad = backend.bce_with_logits_backward(g, x, t, weights, ctx)
         logits._accumulate(grad, owned=True)
 
     return Tensor._make(value, (logits,), backward)

@@ -9,16 +9,37 @@ deterministic.
 
 from __future__ import annotations
 
+import contextlib
 from typing import Iterator
 
 import numpy as np
 import scipy.sparse as sp
 
 from . import init
-from .autograd import Tensor, spmm
+from .autograd import Tensor, fused_gcn_layer, spmm
 
 __all__ = ["Parameter", "Module", "Linear", "GCNConv", "Dropout", "Sequential",
-           "Bilinear"]
+           "Bilinear", "reference_composed_layers"]
+
+_USE_FUSED_LAYERS = True
+
+
+@contextlib.contextmanager
+def reference_composed_layers():
+    """Run the block with :class:`GCNConv` on the historical composed path.
+
+    ``x @ W`` → ``spmm`` → ``+ bias`` → ``leaky_relu`` as four separate
+    autograd nodes instead of one :func:`fused_gcn_layer` node.  Values
+    and gradients are bit-identical either way (the equivalence tests
+    prove it); this exists so benchmarks and tests can compare the two.
+    """
+    global _USE_FUSED_LAYERS
+    previous = _USE_FUSED_LAYERS
+    _USE_FUSED_LAYERS = False
+    try:
+        yield
+    finally:
+        _USE_FUSED_LAYERS = previous
 
 
 class Parameter(Tensor):
@@ -134,11 +155,20 @@ class GCNConv(Module):
         self.bias = (Parameter(init.zeros((out_features,), dtype=dtype))
                      if bias else None)
 
-    def forward(self, x: Tensor, adj_norm: sp.spmatrix) -> Tensor:
+    def forward(self, x: Tensor, adj_norm: sp.spmatrix,
+                negative_slope: float | None = None) -> Tensor:
+        """Apply the layer; ``negative_slope`` folds a LeakyReLU into the
+        same graph node (bit-identical to calling ``.leaky_relu`` on the
+        result — callers pass it so the backend can fuse the epilogue)."""
+        if _USE_FUSED_LAYERS:
+            return fused_gcn_layer(x, self.weight, adj_norm, bias=self.bias,
+                                   negative_slope=negative_slope)
         support = x @ self.weight
         out = spmm(adj_norm, support)
         if self.bias is not None:
             out = out + self.bias
+        if negative_slope is not None:
+            out = out.leaky_relu(negative_slope)
         return out
 
 

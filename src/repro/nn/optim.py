@@ -9,6 +9,10 @@ commutations and in-place evaluation orders that are bit-identical under
 IEEE-754 — so histories match the historical allocating implementation
 bit for bit.  All state (moments, velocity, scratch) follows each
 parameter's dtype.
+
+Both update kernels dispatch through :mod:`repro.nn.backend`: the numpy
+backend runs the scratch-buffer expressions below, the compiled backend
+a probed-bit-identical parallel kernel.
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ from __future__ import annotations
 import numpy as np
 
 from .autograd import Tensor
+from .backend import active as _active_backend
 
 __all__ = ["Optimizer", "SGD", "Adam"]
 
@@ -123,16 +128,12 @@ class SGD(Optimizer):
         return self._velocity
 
     def step(self) -> None:
+        backend = _active_backend()
         for i, p in enumerate(self.params):
             grad = self._effective_grad(i, p)
-            if self.momentum:
-                v = self._velocity[i]
-                v *= self.momentum
-                v += grad
-                grad = v
-            buf = self._buf[i]
-            np.multiply(grad, self.lr, out=buf)
-            p.data -= buf
+            backend.sgd_step(p.data, grad,
+                             self._velocity[i] if self.momentum else None,
+                             self._buf[i], self.lr, self.momentum)
 
 
 class Adam(Optimizer):
@@ -165,21 +166,9 @@ class Adam(Optimizer):
         self._step += 1
         bias1 = 1.0 - self.beta1 ** self._step
         bias2 = 1.0 - self.beta2 ** self._step
+        backend = _active_backend()
         for i, p in enumerate(self.params):
             grad = self._effective_grad(i, p)
-            m, v = self._m[i], self._v[i]
-            t, u = self._t[i], self._u[i]
-            m *= self.beta1
-            np.multiply(grad, 1.0 - self.beta1, out=t)
-            m += t
-            v *= self.beta2
-            np.multiply(grad, grad, out=t)
-            t *= 1.0 - self.beta2
-            v += t
-            np.divide(v, bias2, out=u)       # v̂
-            np.sqrt(u, out=u)
-            u += self.eps
-            np.divide(m, bias1, out=t)       # m̂
-            t *= self.lr
-            t /= u
-            p.data -= t
+            backend.adam_step(p.data, grad, self._m[i], self._v[i],
+                              self._t[i], self._u[i], self.lr, self.beta1,
+                              self.beta2, self.eps, bias1, bias2)

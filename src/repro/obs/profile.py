@@ -40,7 +40,7 @@ _LABELS = {"__radd__": "add", "__rmul__": "mul", "__matmul__": "matmul"}
 
 #: Module-level autograd entry points patched in every repro module that
 #: imported them by value.
-_FUNCTIONS = ["spmm", "concat", "fused_bce_with_logits"]
+_FUNCTIONS = ["spmm", "concat", "fused_bce_with_logits", "fused_gcn_layer"]
 
 #: Per-element cost heuristic for the FLOP-ish estimate.
 _TRANSCENDENTAL = {"exp", "log", "sqrt", "sigmoid", "tanh",
@@ -169,6 +169,28 @@ class OpProfiler:
         wrapped.__name__ = fn.__name__
         return wrapped
 
+    def _wrap_fused_gcn(self, fn):
+        profiler = self
+
+        def wrapped(x, weight, matrix, bias=None, negative_slope=None):
+            t0 = time.perf_counter()
+            out = fn(x, weight, matrix, bias=bias,
+                     negative_slope=negative_slope)
+            elapsed = time.perf_counter() - t0
+            stat = profiler._stat("gcn_fused")
+            stat.calls += 1
+            stat.forward_s += elapsed
+            # dense GEMM + sparse product + elementwise epilogue.
+            cols = weight.data.shape[1]
+            stat.flops += (2 * int(x.data.size) * cols
+                           + 2 * int(matrix.nnz) * cols
+                           + 2 * int(out.data.size))
+            profiler._wrap_backward("gcn_fused", out)
+            return out
+
+        wrapped.__name__ = fn.__name__
+        return wrapped
+
     def _wrap_concat(self, fn):
         profiler = self
 
@@ -202,7 +224,8 @@ class OpProfiler:
             self._saved_methods[name] = original
             setattr(Tensor, name, self._wrap_method(name, original))
         wrappers = {"spmm": self._wrap_spmm, "concat": self._wrap_concat,
-                    "fused_bce_with_logits": self._wrap_fused_bce}
+                    "fused_bce_with_logits": self._wrap_fused_bce,
+                    "fused_gcn_layer": self._wrap_fused_gcn}
         for fname in _FUNCTIONS:
             original = getattr(autograd, fname)
             wrapped = wrappers[fname](original)

@@ -6,8 +6,10 @@ current result file and fails when any case slowed down by more than
 ``BENCH_train.json`` (``benchmarks/test_perf_training.py``, timing key
 ``after_s``), ``BENCH_parallel.json``
 (``benchmarks/test_perf_parallel.py``, same key — the best parallel
-median) and ``BENCH_dtype.json`` (``benchmarks/test_perf_dtype.py``,
-``after_s`` = the float32 median).
+median), ``BENCH_dtype.json`` (``benchmarks/test_perf_dtype.py``,
+``after_s`` = the float32 median) and ``BENCH_backend.json``
+(``benchmarks/test_perf_backend.py``, ``after_s`` = the compiled-backend
+median).
 
 A missing baseline, or a baseline written by a smoke run (``"smoke":
 true``), is not an error: CI compares against artifacts that may not

@@ -15,6 +15,7 @@ from pathlib import Path
 PACKAGES = [
     "repro",
     "repro.nn",
+    "repro.nn.backend",
     "repro.graph",
     "repro.core",
     "repro.baselines",
@@ -34,6 +35,24 @@ PACKAGES = [
 #: Hand-written markdown appended after a package's generated section;
 #: survives regeneration because it lives here, not in docs/API.md.
 PACKAGE_NOTES = {
+    "repro.nn.backend": """\
+### Backend selection
+
+The training hot loops (spmm, the fused GCN layer, BCE-with-logits,
+softmax, optimizer steps, per-epoch node sampling) dispatch through the
+*active backend*, resolved once per fit from — in priority order —
+`AnECIConfig.backend`, the `REPRO_BACKEND` environment variable, or the
+`numpy` default; the global CLI `--backend` flag sets the env var.  The
+`compiled` backend uses numba `@njit(parallel=True)` kernels where
+numba is importable, probing each kernel byte-identical against the
+numpy reference at first use and permanently falling back per-op
+otherwise — so **every backend produces bit-identical embeddings** and
+the choice only changes speed.  `repro profile` reports the resolved
+backend plus the per-op fused-hit vs numpy-fallback counters
+(`op_counts()`); `benchmarks/test_perf_backend.py` tracks the speedup
+(repo-root `BENCH_backend.json`) with the embedding digests of both
+backends recorded as the equivalence evidence.
+""",
     "repro.core": """\
 ### Performance guide
 
