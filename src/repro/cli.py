@@ -44,6 +44,15 @@ environment variable, else numpy) selects the kernel backend the
 training hot loops dispatch to; either choice produces bit-identical
 embeddings, so it only changes speed.
 
+``--train-mode {full,sampled}`` (default: the ``REPRO_TRAIN_MODE``
+environment variable, else full) selects the training regime for every
+AnECI fit the command performs: ``full`` is the historical full-batch
+epoch (bit-identical to every release so far); ``sampled`` switches to
+edge/negative-sampled reconstruction, subsampled modularity and a
+fanout-bounded minibatch GCN forward — sublinear per-epoch cost for
+100k–1M-node graphs (tune with ``REPRO_BATCH_NODES`` /
+``REPRO_EDGE_SAMPLES`` / ``REPRO_NEG_SAMPLES`` / ``REPRO_FANOUT``).
+
 ``--checkpoint-dir PATH`` (default: the ``REPRO_CHECKPOINT_DIR``
 environment variable, else off) makes every fit write crash-safe
 snapshots under PATH; ``repro embed --resume`` continues an interrupted
@@ -87,6 +96,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="kernel backend for the training hot loops "
                              "(default: $REPRO_BACKEND, else numpy; "
                              "results are bit-identical either way)")
+    parser.add_argument("--train-mode", choices=["full", "sampled"],
+                        default=None,
+                        help="training regime for AnECI fits (default: "
+                             "$REPRO_TRAIN_MODE, else full; 'sampled' "
+                             "trades exactness for sublinear per-epoch "
+                             "cost on very large graphs)")
     parser.add_argument("--checkpoint-dir", default=None, metavar="PATH",
                         help="write crash-safe training snapshots under "
                              "PATH (default: $REPRO_CHECKPOINT_DIR, else "
@@ -385,15 +400,22 @@ def cmd_profile(args) -> int:
     coverage so regressions in un-profiled code stand out).
     """
     from .nn import backend as kernel_backend
-    from .obs import profile as op_profile, trace
+    from .obs import metrics, profile as op_profile, trace
     from .parallel import resolve_workers
     graph = _load(args)
     method = _build_method(args.method, graph, args.epochs, args.seed)
     workers = resolve_workers()
     tracer = trace.Tracer()
     kernel_backend.reset_op_counts()
+    registry = metrics.registry()
+    sample_counters = ("aneci.epochs", "sample.nodes", "sample.edges",
+                       "sample.negatives", "workspace.dense_skipped")
+    before = {name: registry.counter(name).value
+              for name in sample_counters}
     with trace.activate(tracer), op_profile.profile_ops() as prof:
         method.fit(graph)
+    deltas = {name: registry.counter(name).value - before[name]
+              for name in sample_counters}
 
     fit_node = tracer.find("fit")  # aneci+ nests fits under denoise/*
     fit_s = fit_node.total_s if fit_node is not None else tracer.total_seconds()
@@ -401,11 +423,24 @@ def cmd_profile(args) -> int:
     coverage = op_s / fit_s if fit_s else 0.0
     spec = getattr(getattr(method, "config", None), "backend", None)
     backend = kernel_backend.backend_info(kernel_backend.resolve_backend(spec))
+    train_mode = getattr(getattr(method, "config", None), "train_mode",
+                         "full")
+    epochs_run = max(deltas["aneci.epochs"], 1)
+    sampling = {
+        "train_mode": train_mode,
+        "epochs": deltas["aneci.epochs"],
+        "nodes_per_epoch": deltas["sample.nodes"] / epochs_run,
+        "edges_per_epoch": deltas["sample.edges"] / epochs_run,
+        "negatives_per_epoch": deltas["sample.negatives"] / epochs_run,
+        "dense_targets_skipped": deltas["workspace.dense_skipped"],
+        "workspace_peak_bytes": registry.gauge(
+            "workspace.build.peak_bytes").value,
+    }
     if getattr(args, "json", False):
         print(json.dumps({"command": "profile", "method": args.method,
                           "dataset": args.dataset, "scale": args.scale,
                           "epochs": args.epochs, "workers": workers,
-                          "backend": backend,
+                          "backend": backend, "sampling": sampling,
                           "profile": prof.to_dict(),
                           "spans": tracer.to_dict(),
                           "fit_s": fit_s, "op_coverage": coverage}))
@@ -423,7 +458,18 @@ def cmd_profile(args) -> int:
         for op, c in sorted(dispatched.items())) or "none"
     print(f"kernel backend: {backend['backend']} "
           f"(numba {'available' if backend['numba_available'] else 'absent'})"
-          f"   dispatch (fused/numpy): {dispatch}\n")
+          f"   dispatch (fused/numpy): {dispatch}")
+    if train_mode == "sampled":
+        print(f"train mode: sampled   per-epoch samples: "
+              f"{sampling['nodes_per_epoch']:.0f} nodes, "
+              f"{sampling['edges_per_epoch']:.0f} edges, "
+              f"{sampling['negatives_per_epoch']:.0f} negatives   "
+              f"dense targets skipped: "
+              f"{sampling['dense_targets_skipped']}   "
+              f"workspace peak: "
+              f"{sampling['workspace_peak_bytes'] / 1e6:.1f} MB\n")
+    else:
+        print(f"train mode: {train_mode}\n")
     print(tracer.report())
     return 0
 
@@ -620,6 +666,11 @@ def main(argv: list[str] | None = None) -> int:
         # REPRO_BACKEND as its default kernel backend; bit-identical by
         # contract, so this only changes speed.
         os.environ["REPRO_BACKEND"] = args.backend
+    if args.train_mode is not None:
+        # Same pattern: every AnECIConfig built downstream (including in
+        # worker processes) reads REPRO_TRAIN_MODE as its default
+        # training regime.
+        os.environ["REPRO_TRAIN_MODE"] = args.train_mode
     if args.checkpoint_dir is not None:
         # And again: every fit the command triggers — any method, any
         # nesting depth, any worker process — checkpoints under this

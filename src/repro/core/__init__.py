@@ -5,7 +5,8 @@ from .config import TASK_EPOCHS, AnECIConfig
 from .denoise import DenoiseResult, smoothing_psi
 from .encoder import GCNEncoder
 from .modularity import (generalized_modularity_tensor, modularity_loss_terms,
-                         newman_modularity, soft_modularity)
+                         newman_modularity, sampled_modularity_tensor,
+                         soft_modularity)
 from .scores import (community_anomaly_scores, community_attribute_scores,
                      defense_score, edge_anomaly_scores,
                      membership_entropy_scores, rigidity)
@@ -16,7 +17,7 @@ __all__ = [
     "AnECI", "AnECIPlus", "AnECIConfig", "TASK_EPOCHS",
     "GCNEncoder", "DenoiseResult", "smoothing_psi",
     "newman_modularity", "soft_modularity", "modularity_loss_terms",
-    "generalized_modularity_tensor",
+    "generalized_modularity_tensor", "sampled_modularity_tensor",
     "FitWorkspace", "WorkspaceCache", "get_workspace", "workspace_cache",
     "fit_fingerprint",
     "defense_score", "edge_anomaly_scores", "rigidity",

@@ -19,6 +19,7 @@ import scipy.sparse as sp
 from ..graph.graph import Graph, normalized_adjacency
 from ..nn import Adam, Tensor, functional as F, no_grad
 from ..nn.backend import use_backend
+from ..nn.backend import active as _active_backend
 from ..obs import events, metrics, store, trace
 from ..resilience import faultinject
 from ..resilience.checkpoint import (CheckpointManager, config_fingerprint,
@@ -26,7 +27,8 @@ from ..resilience.checkpoint import (CheckpointManager, config_fingerprint,
 from ..resilience.guards import DivergenceGuard, RecoveryPolicy
 from .config import AnECIConfig
 from .encoder import GCNEncoder
-from .modularity import generalized_modularity_tensor
+from .modularity import (generalized_modularity_tensor,
+                         sampled_modularity_tensor)
 from .scores import (community_anomaly_scores, membership_entropy_scores,
                      rigidity)
 from .workspace import FitWorkspace, get_workspace
@@ -333,14 +335,20 @@ class AnECI:
             with trace.span("epoch"):
                 self.encoder.train()
                 optimizer.zero_grad()
-                z = self.encoder(features, workspace.adj_norm)
-                p = z.softmax(axis=-1)
+                if cfg.train_mode == "sampled":
+                    q_tilde, recon, p = self._sampled_epoch(
+                        features, workspace, rng)
+                else:
+                    z = self.encoder(features, workspace.adj_norm)
+                    p = z.softmax(axis=-1)
 
-                q_tilde = generalized_modularity_tensor(
-                    p, workspace.prox, workspace.degrees, workspace.two_m)
-                decoder_input = p if cfg.decoder_source == "membership" else z
-                recon = self._reconstruction_loss(decoder_input, workspace,
-                                                  rng)
+                    q_tilde = generalized_modularity_tensor(
+                        p, workspace.prox, workspace.degrees,
+                        workspace.two_m)
+                    decoder_input = (p if cfg.decoder_source == "membership"
+                                     else z)
+                    recon = self._reconstruction_loss(decoder_input,
+                                                      workspace, rng)
                 loss = q_tilde * (-cfg.beta1) + recon * cfg.beta2
                 if faultinject.fire("nan_loss", epoch=epoch,
                                     restart=restart) is not None:
@@ -417,6 +425,44 @@ class AnECI:
             # Every epoch diverged and was skipped; nothing to select on.
             self.selection_modularity = -np.inf
         return self
+
+    def _sampled_epoch(self, features: Tensor, workspace: FitWorkspace,
+                       rng: np.random.Generator
+                       ) -> tuple[Tensor, Tensor, Tensor]:
+        """One sampled-mode epoch: batch draw → minibatch GCN forward →
+        subsampled modularity → edge/negative-sampled reconstruction.
+
+        Every per-epoch cost is bounded by the sample-size knobs — no
+        O(N·d) forward, no O(N²) (or dense-block) loss — which is what
+        makes 100k–1M-node graphs trainable.  Both loss terms are
+        unbiased estimators of their full-batch counterparts *for the
+        batch membership matrix* (see
+        :func:`~repro.core.modularity.sampled_modularity_tensor` and
+        :func:`_sampled_reconstruction`); the minibatch forward itself is
+        the standard fanout-bounded GraphSAGE-style estimate of the full
+        convolution, exact whenever ``fanout`` ≥ the maximum degree.
+
+        Returns ``(q_tilde, recon, p)`` where ``p`` holds the batch
+        membership rows (what the epoch record's rigidity is computed
+        on).
+        """
+        cfg = self.config
+        idx = workspace.batch_indices(rng, cfg.batch_nodes)
+        z = _minibatch_forward(self.encoder, features, workspace, idx,
+                               cfg.fanout, rng)
+        p = z.softmax(axis=-1)
+        q_tilde = sampled_modularity_tensor(
+            p, idx, workspace.prox, workspace.degrees, workspace.two_m,
+            workspace.num_nodes, workspace.prox_diagonal())
+        decoder_input = p if cfg.decoder_source == "membership" else z
+        recon, num_pos, num_neg = _sampled_reconstruction(
+            decoder_input, workspace.recon_block(idx), cfg.edge_samples,
+            cfg.negative_samples, rng)
+        registry = metrics.registry()
+        registry.counter("sample.nodes").inc(int(idx.size))
+        registry.counter("sample.edges").inc(num_pos)
+        registry.counter("sample.negatives").inc(num_neg)
+        return q_tilde, recon, p
 
     def _reconstruction_loss(self, p: Tensor, workspace: FitWorkspace,
                              rng: np.random.Generator) -> Tensor:
@@ -624,6 +670,112 @@ class AnECI:
         if not use_attributes:
             return membership_entropy_scores(membership)
         return community_anomaly_scores(membership, graph.features)
+
+
+def _minibatch_forward(encoder, features: Tensor, workspace: FitWorkspace,
+                       idx: np.ndarray, fanout: int,
+                       rng: np.random.Generator) -> Tensor:
+    """Fanout-bounded minibatch GCN forward over the batch ``idx``.
+
+    Builds one rectangular block matrix per conv layer from the output
+    seeds down to the inputs: layer ``ℓ``'s block rows are its output
+    nodes and its columns the union of their (sampled) neighbours, which
+    become the next layer down's rows.  Each block row holds the node's
+    full normalised-adjacency row when its degree is within ``fanout``,
+    else ``fanout`` neighbours sampled with replacement and rescaled by
+    ``deg/fanout`` (an unbiased row estimate — see
+    :class:`repro.nn.backend.NeighborSampler`).  Because ``adj_norm``
+    carries self-loops, ``fanout`` ≥ the maximum degree keeps every row
+    exact and the result is bit-identical to
+    ``encoder(features, adj_norm)[idx]``.
+
+    The neighbour draws come from the fit's single RNG *before* kernel
+    dispatch, so the sample stream — and hence the whole trajectory — is
+    bit-identical across backends, dtypes and worker counts.
+    """
+    sampler = workspace.neighbor_sampler(fanout)
+    num_layers = len(encoder.convs)
+    blocks = []
+    seeds = np.asarray(idx, dtype=np.int64)
+    for _ in range(num_layers):
+        out_ptr, cols, vals = sampler.sample(seeds, rng)
+        in_nodes = np.unique(cols)
+        local_cols = np.searchsorted(in_nodes, cols)
+        block = sp.csr_matrix(
+            (vals, local_cols.astype(np.int32, copy=False),
+             out_ptr.astype(np.int32, copy=False)),
+            shape=(seeds.size, in_nodes.size))
+        blocks.append(block)
+        seeds = in_nodes
+    blocks.reverse()
+    return encoder.forward_blocks(features[seeds], blocks)
+
+
+def _sampled_reconstruction(dec: Tensor, block: sp.csr_matrix,
+                            edge_samples: int, negative_samples: int,
+                            rng: np.random.Generator
+                            ) -> tuple[Tensor, int, int]:
+    """Edge/negative-sampled estimate of the block-mean BCE (Eq. 17).
+
+    A stratified estimator of ``BCE_mean(σ(D Dᵀ), T)`` over the ``S×S``
+    batch block ``T`` without materialising any ``S×S`` matrix:
+    ``edge_samples`` positive entries are drawn uniformly (with
+    replacement) from the block's stored entries and
+    ``edge_samples × negative_samples`` zero pairs uniformly by
+    rejection against the entry codes, then the two stratum means are
+    recombined with their population weights ``nnz/S²`` and
+    ``(S²−nnz)/S²``.  The expectation over draws equals the exact
+    block-mean loss, so the full-batch and sampled objectives share the
+    same O(1) scale and ``β₂`` keeps its role.
+
+    Returns ``(loss, positives_drawn, negatives_drawn)``.
+    """
+    s = block.shape[0]
+    total = s * s
+    nnz = int(block.nnz)
+    backend = _active_backend()
+    dtype = dec.data.dtype
+    terms = []
+    num_pos = num_neg = 0
+    if nnz:
+        num_pos = int(edge_samples)
+        entry_ids = np.asarray(
+            backend.sample_pairs(rng, nnz, num_pos), dtype=np.int64)
+        rows = np.searchsorted(block.indptr, entry_ids, side="right") - 1
+        cols = block.indices[entry_ids].astype(np.int64, copy=False)
+        targets = block.data[entry_ids].astype(dtype, copy=False)
+        logits = (dec[rows] * dec[cols]).sum(axis=1)
+        pos_mean = F.binary_cross_entropy_with_logits(logits, targets,
+                                                      "mean")
+        terms.append(pos_mean * (nnz / total))
+    if nnz < total:
+        num_neg = int(edge_samples) * int(negative_samples)
+        # Entry codes are strictly increasing for a sorted-index CSR
+        # block, so zero-pair rejection is one binary search per draw.
+        entry_codes = (np.repeat(np.arange(s, dtype=np.int64),
+                                 np.diff(block.indptr)) * s
+                       + block.indices)
+        kept_chunks: list[np.ndarray] = []
+        kept_total = 0
+        while kept_total < num_neg:
+            cand = np.asarray(
+                backend.sample_pairs(rng, total, num_neg), dtype=np.int64)
+            slot = np.searchsorted(entry_codes, cand)
+            stored = np.zeros(cand.size, dtype=bool)
+            inside = slot < entry_codes.size
+            stored[inside] = entry_codes[slot[inside]] == cand[inside]
+            kept = cand[~stored]
+            kept_chunks.append(kept)
+            kept_total += kept.size
+        codes = np.concatenate(kept_chunks)[:num_neg]
+        rows = codes // s
+        cols = codes - rows * s
+        logits = (dec[rows] * dec[cols]).sum(axis=1)
+        neg_mean = F.binary_cross_entropy_with_logits(
+            logits, np.zeros(num_neg, dtype=dtype), "mean")
+        terms.append(neg_mean * ((total - nnz) / total))
+    loss = terms[0] if len(terms) == 1 else terms[0] + terms[1]
+    return loss, num_pos, num_neg
 
 
 def _pack(prefix: str, state: dict) -> dict:

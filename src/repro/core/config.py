@@ -98,6 +98,30 @@ class AnECIConfig:
     checkpoint_every:
         Epoch interval between snapshots (``None``: the
         ``REPRO_CHECKPOINT_EVERY`` environment variable, else 25).
+    train_mode:
+        ``"full"`` (the default — the historical full-batch epoch,
+        bit-identical to every release so far) or ``"sampled"``
+        (edge/negative-sampled reconstruction, subsampled modularity and
+        a fanout-bounded minibatch GCN forward; sublinear per-epoch cost
+        and memory, the mode that makes 100k–1M-node graphs trainable).
+        Default from the ``REPRO_TRAIN_MODE`` environment variable (the
+        global CLI ``--train-mode`` flag sets it).
+    batch_nodes:
+        Sampled mode only: nodes per epoch batch — the seed set of the
+        minibatch GCN forward and the subsample of the modularity
+        estimator.  Default from ``REPRO_BATCH_NODES``.
+    edge_samples:
+        Sampled mode only: positive target entries drawn per epoch for
+        the stratified reconstruction estimator.  Default from
+        ``REPRO_EDGE_SAMPLES``.
+    negative_samples:
+        Sampled mode only: negative pairs drawn per positive (the ``k``
+        of k-negative sampling).  Default from ``REPRO_NEG_SAMPLES``.
+    fanout:
+        Sampled mode only: per-layer neighbor cap of the minibatch GCN
+        forward; rows above the cap are subsampled without replacement
+        and rescaled so the sampled aggregation is an unbiased estimate
+        of the full convolution.  Default from ``REPRO_FANOUT``.
     """
 
     num_communities: int
@@ -131,6 +155,18 @@ class AnECIConfig:
     checkpoint_dir: str | None = field(
         default_factory=lambda: os.environ.get("REPRO_CHECKPOINT_DIR") or None)
     checkpoint_every: int | None = None
+    train_mode: str = field(
+        default_factory=lambda: os.environ.get("REPRO_TRAIN_MODE", "full"))
+    batch_nodes: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_BATCH_NODES",
+                                                   "4096")))
+    edge_samples: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_EDGE_SAMPLES",
+                                                   "8192")))
+    negative_samples: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_NEG_SAMPLES", "5")))
+    fanout: int = field(
+        default_factory=lambda: int(os.environ.get("REPRO_FANOUT", "10")))
     extras: dict = field(default_factory=dict)
 
     def __post_init__(self):
@@ -175,3 +211,14 @@ class AnECIConfig:
             raise ValueError("reseed_after must be >= 1")
         if self.checkpoint_every is not None and self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be >= 1")
+        if self.train_mode not in ("full", "sampled"):
+            raise ValueError("train_mode must be 'full' or 'sampled'")
+        if self.batch_nodes < 2:
+            # The modularity estimator needs at least one node pair.
+            raise ValueError("batch_nodes must be >= 2")
+        if self.edge_samples < 1:
+            raise ValueError("edge_samples must be >= 1")
+        if self.negative_samples < 1:
+            raise ValueError("negative_samples must be >= 1")
+        if self.fanout < 1:
+            raise ValueError("fanout must be >= 1")

@@ -43,3 +43,28 @@ class GCNEncoder(Module):
             if i != last and self.dropout is not None:
                 h = self.dropout(h)
         return h
+
+    def forward_blocks(self, x: Tensor, blocks: list[sp.spmatrix]) -> Tensor:
+        """Minibatch forward: one rectangular block matrix per layer.
+
+        ``blocks[i]`` plays the role of ``adj_norm`` for layer ``i`` —
+        its rows are the layer's output nodes, its columns the input
+        nodes ``x`` covers (for ``i = 0``) or the previous block's rows.
+        Used by the sampled training mode, where each block holds a
+        fanout-bounded neighbour sample; with blocks sliced from the full
+        normalised adjacency the result equals :meth:`forward` restricted
+        to the final block's rows.
+        """
+        if len(blocks) != len(self.convs):
+            raise ValueError(
+                f"{len(self.convs)}-layer encoder needs one block per "
+                f"layer, got {len(blocks)}")
+        h = x
+        last = len(self.convs) - 1
+        for i, (conv, block) in enumerate(zip(self.convs, blocks)):
+            h = conv(h, block,
+                     negative_slope=None if i == last
+                     else self.negative_slope)
+            if i != last and self.dropout is not None:
+                h = self.dropout(h)
+        return h

@@ -32,7 +32,7 @@ import scipy.sparse as sp
 from ..graph.graph import Graph, normalized_adjacency
 from ..graph.proximity import high_order_proximity, katz_proximity
 from ..nn.autograd import cached_transpose
-from ..nn.backend import NodeSampler
+from ..nn.backend import NeighborSampler, NodeSampler
 from ..nn.backend import active as _active_backend
 from ..obs import events, metrics, trace
 from .config import AnECIConfig
@@ -80,7 +80,7 @@ def _config_knobs(config: AnECIConfig) -> tuple:
     return (config.proximity_kind, config.order,
             None if weights is None else tuple(weights),
             config.katz_beta, config.recon_target, config.recon_sample_size,
-            config.dtype)
+            config.dtype, config.train_mode)
 
 
 @dataclass
@@ -112,6 +112,13 @@ class FitWorkspace:
         Densified ``recon_target`` when affordable (always for the full
         path, below ``REPRO_WORKSPACE_DENSE_CAP`` nodes for the sampled
         path); ``None`` means blocks are gathered from the sparse form.
+    lazy_dense:
+        ``True`` when the workspace was built for ``train_mode="sampled"``:
+        the dense target is *never* materialised — not even below
+        ``dense_gather_cap()`` — and every consumer slices CSR blocks.
+        Each skipped densification increments the
+        ``workspace.dense_skipped`` counter and records the avoided byte
+        count in the ``workspace.dense_skipped_bytes`` gauge.
     """
 
     fingerprint: str
@@ -125,9 +132,55 @@ class FitWorkspace:
     sample_nodes: int | None
     recon_dense: np.ndarray | None
     dtype: np.dtype = np.dtype(np.float64)
+    lazy_dense: bool = False
     #: Lazily built preallocated-buffer sampler for the sampled
     #: reconstruction path (see :class:`repro.nn.backend.NodeSampler`).
     sampler: NodeSampler | None = None
+
+    def __post_init__(self):
+        self._prox_diag: np.ndarray | None = None
+        self._batch_samplers: dict[int, NodeSampler] = {}
+        self._neighbor_samplers: dict[int, NeighborSampler] = {}
+
+    def prox_diagonal(self) -> np.ndarray:
+        """Cached diagonal of the proximity (sampled modularity needs it
+        to reweight self-pairs separately from cross pairs)."""
+        if self._prox_diag is None:
+            self._prox_diag = np.asarray(self.prox.diagonal())
+        return self._prox_diag
+
+    def batch_indices(self, rng: np.random.Generator, k: int) -> np.ndarray:
+        """Sorted without-replacement node batch of size ``k``.
+
+        Drawn through the same backend-dispatched
+        :class:`~repro.nn.backend.NodeSampler` machinery as
+        :meth:`sample_indices`, so the sampled-mode batch stream is
+        bit-identical across backends, dtypes and worker counts.
+        Returns ``arange(n)`` (consuming no randomness) when ``k`` covers
+        the whole graph.
+        """
+        if k >= self.num_nodes:
+            return np.arange(self.num_nodes, dtype=np.int64)
+        sampler = self._batch_samplers.get(k)
+        if sampler is None:
+            sampler = self._batch_samplers[k] = NodeSampler(self.num_nodes, k)
+        idx = _active_backend().sample_without_replacement(sampler, rng)
+        return np.sort(np.asarray(idx, dtype=np.int64))
+
+    def neighbor_sampler(self, fanout: int) -> NeighborSampler:
+        """Cached fanout-bounded neighbor sampler over ``adj_norm``."""
+        sampler = self._neighbor_samplers.get(fanout)
+        if sampler is None:
+            sampler = NeighborSampler(self.adj_norm, fanout)
+            self._neighbor_samplers[fanout] = sampler
+        return sampler
+
+    def recon_block(self, idx: np.ndarray) -> sp.csr_matrix:
+        """Sparse ``idx × idx`` block of the reconstruction target with
+        sorted indices (the sampled estimator binary-searches them)."""
+        block = self.recon_target[idx][:, idx].tocsr()
+        block.sort_indices()
+        return block
 
     def dense_target(self) -> np.ndarray:
         """The full dense reconstruction target (full-graph path only)."""
@@ -169,7 +222,8 @@ class FitWorkspace:
 def build_workspace(graph: Graph, config: AnECIConfig,
                     fingerprint: str = "") -> FitWorkspace:
     """Compute every epoch-invariant constant for ``(graph, config)``."""
-    with trace.span("workspace/build"):
+    with trace.span("workspace/build"), \
+            metrics.track_peak_memory("workspace.build"):
         dtype = np.dtype(config.dtype)
         adj_norm = normalized_adjacency(graph.adjacency)
         if config.proximity_kind == "katz":
@@ -199,7 +253,17 @@ def build_workspace(graph: Graph, config: AnECIConfig,
         n = graph.num_nodes
         sample_nodes = (config.recon_sample_size
                         if n > config.recon_sample_size else None)
-        if sample_nodes is None or n <= dense_gather_cap():
+        lazy_dense = config.train_mode == "sampled"
+        if lazy_dense:
+            # Sampled training never needs the dense N×N target — skip
+            # the densification unconditionally (dense_gather_cap() does
+            # not apply) and make the avoided allocation observable.
+            recon_dense = None
+            registry = metrics.registry()
+            registry.counter("workspace.dense_skipped").inc()
+            registry.gauge("workspace.dense_skipped_bytes").set(
+                float(n) * float(n) * dtype.itemsize)
+        elif sample_nodes is None or n <= dense_gather_cap():
             recon_dense = recon_target.toarray()
         else:
             recon_dense = None
@@ -207,7 +271,7 @@ def build_workspace(graph: Graph, config: AnECIConfig,
             fingerprint=fingerprint, num_nodes=n, adj_norm=adj_norm,
             proximity=proximity, prox=prox, degrees=degrees, two_m=two_m,
             recon_target=recon_target, sample_nodes=sample_nodes,
-            recon_dense=recon_dense, dtype=dtype)
+            recon_dense=recon_dense, dtype=dtype, lazy_dense=lazy_dense)
 
 
 class WorkspaceCache:

@@ -2,7 +2,7 @@
 
 from .datasets import DATASETS, DatasetSpec, load_dataset
 from .generators import (attributed_sbm, lfr_like, planted_partition,
-                         topic_features)
+                         sparse_dcsbm, topic_features)
 from .graph import Graph, edges_from_adjacency, normalized_adjacency
 from .io import load_graph, save_graph
 from .proximity import (high_order_proximity, katz_proximity,
@@ -17,6 +17,7 @@ __all__ = [
     "high_order_proximity", "katz_proximity", "modularity_degree",
     "proximity_statistics",
     "attributed_sbm", "planted_partition", "topic_features", "lfr_like",
+    "sparse_dcsbm",
     "DATASETS", "DatasetSpec", "load_dataset",
     "planetoid_split", "save_graph", "load_graph",
     "degree_histogram", "average_clustering", "homophily_index",

@@ -58,9 +58,10 @@ except ImportError:  # pragma: no cover
     _prange = range
 
 __all__ = ["KernelBackend", "CompiledBackend", "NodeSampler",
-           "NUMBA_AVAILABLE", "stable_softmax", "register_backend",
-           "known_backends", "resolve_backend", "active", "set_backend",
-           "use_backend", "op_counts", "reset_op_counts", "backend_info"]
+           "NeighborSampler", "NUMBA_AVAILABLE", "stable_softmax",
+           "register_backend", "known_backends", "resolve_backend", "active",
+           "set_backend", "use_backend", "op_counts", "reset_op_counts",
+           "backend_info"]
 
 _SUPPORTED_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
 
@@ -252,6 +253,40 @@ def _floyd_apply_py(draws, fy_draws, out, mask, n, k):
         mask[out[i]] = False
 
 
+def _np_nbr_apply(starts, degs, kept, out_ptr, over_mask, draws,
+                  fanout) -> np.ndarray:
+    """Numpy reference of the neighbor-gather kernel.
+
+    Maps one sampling *plan* (see :meth:`NeighborSampler.plan`) to the
+    CSR storage positions of the kept entries: rows at or under the
+    fanout keep every stored entry in order; oversized rows keep the
+    ``fanout`` pre-drawn (with-replacement) local offsets in ``draws``.
+    Returns an int64 array of positions into the graph's
+    ``indices``/``data`` arrays, row segments concatenated in seed order.
+    """
+    total = int(out_ptr[-1])
+    local = np.arange(total, dtype=np.int64)
+    local -= np.repeat(out_ptr[:-1], kept)
+    if draws.size:
+        local[np.repeat(over_mask, kept)] = draws
+    return np.repeat(starts, kept) + local
+
+
+def _nbr_apply_py(starts, degs, kept, out_ptr, over_mask, draws, fanout,
+                  out) -> None:
+    """Loop form of :func:`_np_nbr_apply` (the numba twin's source)."""
+    d = 0
+    for r in range(starts.shape[0]):
+        base = out_ptr[r]
+        if over_mask[r]:
+            for t in range(fanout):
+                out[base + t] = starts[r] + draws[d]
+                d += 1
+        else:
+            for t in range(kept[r]):
+                out[base + t] = starts[r] + t
+
+
 def _tail_apply_py(draws, perm, out, n, k, first):
     """Partial Fisher-Yates on an identity permutation, tail slice result.
 
@@ -423,9 +458,12 @@ if NUMBA_AVAILABLE:  # pragma: no cover - exercised only on numba hosts
 
     _floyd_apply = _njit(cache=True)(_floyd_apply_py)
     _tail_apply = _njit(cache=True)(_tail_apply_py)
+    # Sequential by design: the draw cursor walks oversized rows in order.
+    _nb_nbr_apply = _njit(cache=True)(_nbr_apply_py)
 else:
     _floyd_apply = _floyd_apply_py
     _tail_apply = _tail_apply_py
+    _nb_nbr_apply = _nbr_apply_py
 
 
 # --------------------------------------------------------------------- #
@@ -513,6 +551,22 @@ class KernelBackend:
                                    rng: np.random.Generator) -> np.ndarray:
         _record("sample", False)
         return rng.choice(sampler.n, size=sampler.k, replace=False)
+
+    def sample_pairs(self, rng: np.random.Generator, high: int,
+                     size) -> np.ndarray:
+        """Uniform integer draws for edge/negative pair sampling.
+
+        Pure generator arithmetic — the stream is identical on every
+        backend by construction; dispatching it here makes the per-epoch
+        draw volume observable in the op counters.
+        """
+        _record("pairs", False)
+        return rng.integers(0, high, size=size)
+
+    def neighbor_gather(self, plan: tuple) -> np.ndarray:
+        """Map a :meth:`NeighborSampler.plan` to kept CSR positions."""
+        _record("neighbor", False)
+        return _np_nbr_apply(*plan)
 
     def fused_ops(self) -> dict[str, bool]:
         """Which ops run a compiled kernel (all False for the reference)."""
@@ -678,6 +732,16 @@ class CompiledBackend(KernelBackend):
             return sampler.replicated_sample(rng)
         return super().sample_without_replacement(sampler, rng)
 
+    def neighbor_gather(self, plan):
+        if self._probed("neighbor"):
+            _record("neighbor", True)
+            starts, degs, kept, out_ptr, over_mask, draws, fanout = plan
+            out = np.empty(int(out_ptr[-1]), dtype=np.int64)
+            _nb_nbr_apply(starts, degs, kept, out_ptr, over_mask, draws,
+                          fanout, out)
+            return out
+        return super().neighbor_gather(plan)
+
 
 def _flattenable(a: np.ndarray) -> bool:
     return a.flags["C_CONTIGUOUS"]
@@ -701,8 +765,31 @@ def _probe_compiled_kernels() -> dict[str, bool]:  # pragma: no cover
 
     ok: dict[str, bool] = {}
     rng = np.random.default_rng(0x5EED)
-    for op in ("spmm", "gcn_layer", "bce", "softmax", "adam", "sgd"):
+    for op in ("spmm", "gcn_layer", "bce", "softmax", "adam", "sgd",
+               "neighbor"):
         ok[op] = True
+    # Integer-exact neighbor-gather kernel: synthetic plan with a mix of
+    # undersized and oversized rows, byte-compared against the numpy
+    # reference.
+    try:
+        fanout = 4
+        degs = rng.integers(0, 11, size=32).astype(np.int64)
+        starts = np.concatenate(([0], np.cumsum(degs[:-1]))).astype(np.int64)
+        kept = np.minimum(degs, fanout)
+        out_ptr = np.concatenate(([0], np.cumsum(kept))).astype(np.int64)
+        over_mask = degs > fanout
+        bounds = np.repeat(degs[over_mask], fanout)
+        draws = (rng.integers(0, bounds, dtype=np.int64) if bounds.size
+                 else np.empty(0, dtype=np.int64))
+        plan = (starts, degs, kept, out_ptr, over_mask, draws, fanout)
+        ref = _np_nbr_apply(*plan)
+        out = np.empty(int(out_ptr[-1]), dtype=np.int64)
+        _nb_nbr_apply(starts, degs, kept, out_ptr, over_mask, draws,
+                      fanout, out)
+        if out.tobytes() != ref.tobytes():
+            ok["neighbor"] = False
+    except Exception:
+        ok["neighbor"] = False
     for dtype in (np.float64, np.float32):
         dt = np.dtype(dtype).type
         # Mixed magnitudes, exact zeros, both signs.
@@ -987,3 +1074,71 @@ class NodeSampler:
                     == repr(rep_rng.bit_generator.state))
         except Exception:
             return False
+
+
+class NeighborSampler:
+    """Fanout-bounded per-layer neighbor sampling over one fixed CSR matrix.
+
+    Used by the sampled training mode's minibatch GCN forward: for a set
+    of seed rows, every row with at most ``fanout`` stored entries keeps
+    all of them (in storage order — so a fanout at or above the maximum
+    degree reproduces the full convolution bit for bit), while larger
+    rows keep ``fanout`` uniform with-replacement draws whose values are
+    rescaled by ``degree / fanout``, making the sampled aggregation an
+    unbiased estimate of the full row sum.
+
+    Determinism contract: the bounded-integer draw stream comes from one
+    vectorised ``rng.integers`` call *before* kernel dispatch, so any
+    backend / worker count / dtype consumes the identical stream; only
+    the gather of pre-drawn offsets (``neighbor_gather``) is dispatched —
+    numpy reference vs numba twin, probed byte-identical at first use.
+    """
+
+    def __init__(self, matrix, fanout: int):
+        if fanout < 1:
+            raise ValueError("fanout must be >= 1")
+        matrix = matrix.tocsr()
+        self.fanout = int(fanout)
+        self.num_nodes = matrix.shape[1]
+        self.indptr = matrix.indptr
+        self.indices = matrix.indices
+        self.data = matrix.data
+        self._degs = np.diff(matrix.indptr).astype(np.int64)
+
+    def plan(self, seeds: np.ndarray,
+             rng: np.random.Generator) -> tuple:
+        """Draw this layer's offsets; returns the kernel-ready plan."""
+        seeds = np.asarray(seeds, dtype=np.int64)
+        degs = self._degs[seeds]
+        starts = self.indptr[seeds].astype(np.int64)
+        kept = np.minimum(degs, self.fanout)
+        out_ptr = np.empty(seeds.size + 1, dtype=np.int64)
+        out_ptr[0] = 0
+        np.cumsum(kept, out=out_ptr[1:])
+        over_mask = degs > self.fanout
+        bounds = np.repeat(degs[over_mask], self.fanout)
+        draws = (rng.integers(0, bounds, dtype=np.int64) if bounds.size
+                 else np.empty(0, dtype=np.int64))
+        return starts, degs, kept, out_ptr, over_mask, draws, self.fanout
+
+    def sample(self, seeds: np.ndarray, rng: np.random.Generator
+               ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """One layer of neighbor sampling for ``seeds``.
+
+        Returns ``(out_ptr, cols, vals)``: the per-seed CSR pointer of
+        the kept entries, their (global) column ids and their rescaled
+        values.  Rows at or under the fanout are passed through exactly
+        (no rescale, no draw), so the rescale multiplies only where
+        subsampling actually happened.
+        """
+        plan = self.plan(seeds, rng)
+        starts, degs, kept, out_ptr, over_mask, draws, _ = plan
+        positions = _ACTIVE.neighbor_gather(plan)
+        cols = self.indices[positions].astype(np.int64, copy=False)
+        vals = self.data[positions]
+        if draws.size:
+            vals = vals.copy()
+            scale = (degs[over_mask] / self.fanout).astype(vals.dtype)
+            entry_over = np.repeat(over_mask, kept)
+            vals[entry_over] *= np.repeat(scale, self.fanout)
+        return out_ptr, cols, vals

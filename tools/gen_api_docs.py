@@ -89,6 +89,33 @@ Each `BENCH_train.json` case records `before_s`/`after_s` medians
 (reference vs optimised mode over interleaved repeats), per-epoch and
 profiled backward times, and `max_loss_delta` — which must stay at
 0.0: the overhaul changes wall-clock, never numerics.
+
+### Scaling & sampled training
+
+`AnECIConfig(train_mode="sampled")` (env `REPRO_TRAIN_MODE`, CLI
+`--train-mode`) swaps the dense full-batch epoch for three unbiased
+sampled estimators whose per-epoch cost depends on the sample-size
+knobs, not on `n²`: a node-batch (`batch_nodes`, env
+`REPRO_BATCH_NODES`) drawn per epoch; a Horvitz–Thompson subsample of
+the generalised modularity (`sampled_modularity_tensor` — exact when
+the batch covers the graph); an edge + k-negative reconstruction
+estimator (`edge_samples`/`negative_samples`, env
+`REPRO_EDGE_SAMPLES`/`REPRO_NEG_SAMPLES`) replacing the dense
+σ(PPᵀ)-vs-target BCE; and a fanout-bounded neighbour-sampled GCN
+forward (`fanout`, env `REPRO_FANOUT`; a fanout ≥ the maximum degree
+reproduces the full forward bit-exactly).  Sampled-mode workspaces
+never densify the reconstruction target (`workspace.dense_skipped`
+counter + `workspace.dense_skipped_bytes` gauge record the avoided
+allocation), so 100k–1M-node graphs from
+`repro.graph.sparse_dcsbm` train in memory the dense path could never
+touch.  The default `train_mode="full"` path is byte-identical to
+previous releases; sampled fits are themselves deterministic — same
+seed ⇒ same embedding at any worker count, across backends, and
+through checkpoint/resume.  `repro profile` reports the resolved train
+mode plus per-epoch node/edge/negative sample counts;
+`benchmarks/test_perf_scale.py` tracks full-vs-sampled wall time,
+quality parity (NMI/modularity gaps ≤ 0.02) and peak memory in the
+repo-root `BENCH_scale.json`.
 """,
     "repro.obs": """\
 ### Observability guide
