@@ -22,6 +22,13 @@ obs
     ``runs`` noun is optional).  ``export`` writes Chrome trace-event
     JSON (load it in Perfetto / ``chrome://tracing``) and Prometheus
     text files from a recorded entry.
+serve
+    The embedding serving layer: ``repro serve export`` trains a method
+    and publishes its embeddings + memberships to a versioned,
+    checksummed, memory-mapped store; ``repro serve query`` answers
+    ``similar`` / ``community`` / free-vector k-NN against a store
+    directly; ``repro serve run`` starts the asyncio HTTP front end
+    (micro-batching + LRU cache) over it.
 
 Global observability flags (before the subcommand): ``--trace PATH``
 streams every structured event the run emits to a JSONL file and
@@ -182,6 +189,43 @@ def build_parser() -> argparse.ArgumentParser:
     runs = obs_sub.add_parser("runs", help="alias namespace for the verbs")
     _obs_verbs(runs.add_subparsers(dest="obs_command", required=True))
     _obs_verbs(obs_sub)
+
+    srv = sub.add_parser(
+        "serve", help="export / query / run the embedding serving layer")
+    srv_sub = srv.add_subparsers(dest="serve_command", required=True)
+    sx = srv_sub.add_parser(
+        "export", help="train a method and publish it to a serving store")
+    _dataset_args(sx)
+    sx.add_argument("--method", default="aneci",
+                    help="aneci or aneci+ (needs export_serving support)")
+    sx.add_argument("--epochs", type=int, default=None)
+    sx.add_argument("--store", required=True, metavar="DIR",
+                    help="serving store directory")
+    sx.add_argument("--json", action="store_true",
+                    help="print a structured JSON record instead of text")
+    sq = srv_sub.add_parser(
+        "query", help="answer one k-NN query against a store (no server)")
+    sq.add_argument("--store", required=True, metavar="DIR")
+    sq.add_argument("--node", type=int, default=None,
+                    help="query node id (similar / community modes)")
+    sq.add_argument("--vector", default=None, metavar="V1,V2,...",
+                    help="free query vector (overrides --node)")
+    sq.add_argument("--mode", choices=["similar", "community"],
+                    default="similar")
+    sq.add_argument("-k", "--k", type=int, default=10)
+    sq.add_argument("--index", default=None,
+                    help="index backend (default: $REPRO_SERVE_INDEX, "
+                         "else exact)")
+    sq.add_argument("--json", action="store_true",
+                    help="print a structured JSON record instead of text")
+    sr = srv_sub.add_parser(
+        "run", help="serve a store over HTTP (micro-batching + LRU cache)")
+    sr.add_argument("--store", required=True, metavar="DIR")
+    sr.add_argument("--host", default="127.0.0.1")
+    sr.add_argument("--port", type=int, default=8707)
+    sr.add_argument("--index", default=None,
+                    help="index backend (default: $REPRO_SERVE_INDEX, "
+                         "else exact)")
     return parser
 
 
@@ -232,17 +276,11 @@ def _load(args):
     return load_dataset(args.dataset, scale=args.scale, seed=args.seed)
 
 
-def _finite_or_null(value) -> float | None:
-    """Map NaN/±inf to ``None`` so ``--json`` output is strict JSON."""
-    value = float(value)
-    return value if np.isfinite(value) else None
-
-
-def _strict_json(record: dict) -> str:
-    """Serialise with ``allow_nan=False``: a non-finite number that
-    slipped past the per-field mapping fails loudly here instead of
-    emitting ``NaN``/``Infinity`` tokens no strict parser accepts."""
-    return json.dumps(record, allow_nan=False)
+# Every ``--json`` surface funnels through the one shared serializer in
+# :mod:`repro.jsonio` (non-finite → null, ``allow_nan=False``) instead
+# of per-command copies.
+from .jsonio import dumps as _strict_json  # noqa: E402
+from .jsonio import finite_or_none as _finite_or_null  # noqa: E402
 
 
 def _build_method(name: str, graph, epochs: int | None, seed: int,
@@ -609,6 +647,87 @@ def cmd_obs(args) -> int:
     raise AssertionError(f"unhandled obs verb {verb!r}")
 
 
+def cmd_serve(args) -> int:
+    """Serving layer verbs: export / query / run."""
+    verb = args.serve_command
+
+    if verb == "export":
+        from .obs import events
+        graph = _load(args)
+        method = _build_method(args.method, graph, args.epochs, args.seed)
+        if not hasattr(method, "export_serving"):
+            print(f"method {args.method!r} does not support serving export",
+                  file=sys.stderr)
+            return 2
+        start = time.perf_counter()
+        method.fit(graph)
+        version = method.export_serving(args.store)
+        elapsed = time.perf_counter() - start
+        record = {"command": "serve-export", "method": args.method,
+                  "dataset": args.dataset, "scale": args.scale,
+                  "seed": args.seed, "store": str(args.store),
+                  "version": version, "elapsed_s": elapsed}
+        events.emit("serve_export", **record)
+        if getattr(args, "json", False):
+            print(_strict_json(record))
+        else:
+            print(f"published version {version} to {args.store}")
+        return 0
+
+    if verb == "query":
+        from .serve import EmbeddingStore, build_index
+        serving = EmbeddingStore(args.store).load()
+        index = build_index(serving, args.index)
+        if args.vector is not None:
+            vector = np.asarray([float(v) for v in args.vector.split(",")])
+            ids, scores = index.query_vector(vector, args.k)
+            mode = "vector"
+        elif args.node is not None:
+            query = (index.same_community if args.mode == "community"
+                     else index.similar_nodes)
+            ids, scores = query(args.node, args.k)
+            mode = args.mode
+        else:
+            print("serve query needs --node or --vector", file=sys.stderr)
+            return 2
+        record = {"command": "serve-query", "store": str(args.store),
+                  "version": serving.version, "index": index.name,
+                  "mode": mode, "node": args.node, "k": args.k,
+                  "ids": ids, "scores": scores}
+        if getattr(args, "json", False):
+            print(_strict_json(record))
+        else:
+            print(f"store {args.store} version {serving.version} "
+                  f"({index.name} index, {mode})")
+            for node_id, score in zip(ids.tolist(), scores.tolist()):
+                print(f"  {node_id:>10d}  {score:.6f}")
+        return 0
+
+    if verb == "run":
+        import asyncio
+        from .serve import EmbeddingServer
+
+        async def _run() -> None:
+            server = EmbeddingServer(args.store, host=args.host,
+                                     port=args.port, index_spec=args.index)
+            await server.start()
+            print(f"serving {args.store} version {server.serving.version} "
+                  f"({server.index.name} index) on "
+                  f"http://{server.host}:{server.port}", flush=True)
+            try:
+                await server.serve_forever()
+            finally:
+                await server.stop()
+
+        try:
+            asyncio.run(_run())
+        except KeyboardInterrupt:
+            pass
+        return 0
+
+    raise AssertionError(f"unhandled serve verb {verb!r}")
+
+
 def _slug(key: str) -> str:
     """Filesystem-safe stem for export files derived from a run key."""
     import re
@@ -690,6 +809,7 @@ def main(argv: list[str] | None = None) -> int:
         "experiment": cmd_experiment,
         "profile": cmd_profile,
         "obs": cmd_obs,
+        "serve": cmd_serve,
     }[args.command]
     with _observability(args):
         return handler(args)

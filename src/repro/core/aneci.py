@@ -671,6 +671,36 @@ class AnECI:
             return membership_entropy_scores(membership)
         return community_anomaly_scores(membership, graph.features)
 
+    def export_serving(self, directory: str, graph: Graph | None = None,
+                       meta: dict | None = None) -> str:
+        """Publish this fit's embeddings to a serving store; return the
+        version key.
+
+        One forward pass produces the embedding matrix and its softmax
+        membership; both land in :class:`repro.serve.store.EmbeddingStore`
+        under ``directory`` as float32 shards.  The version is the
+        content-derived :func:`repro.resilience.checkpoint.run_key` of
+        (graph, config), so re-exporting the same fit overwrites its own
+        version while any changed fit publishes a fresh one — and
+        ``repro serve run`` can hot-reload between them.
+        """
+        if self.encoder is None:
+            raise RuntimeError("call fit() before export_serving()")
+        from ..serve.store import EmbeddingStore
+        graph = graph or self._fitted_graph
+        embeddings = self.embed(graph)
+        memberships = F.stable_softmax(embeddings, axis=1)
+        version = run_key(graph, self.config)
+        info = {"model": "aneci",
+                "config": config_fingerprint(self.config),
+                "graph": getattr(graph, "name", None)}
+        if meta:
+            info.update(meta)
+        EmbeddingStore(directory).publish(
+            embeddings.astype(np.float32, copy=False),
+            memberships.astype(np.float32, copy=False), version, meta=info)
+        return version
+
 
 def _minibatch_forward(encoder, features: Tensor, workspace: FitWorkspace,
                        idx: np.ndarray, fanout: int,

@@ -177,6 +177,18 @@ class AnECIPlus:
         self._require_fitted()
         return self.stage2.anomaly_scores(graph or self._denoised_graph)
 
+    def export_serving(self, directory: str, graph: Graph | None = None,
+                       meta: dict | None = None) -> str:
+        """Publish the stage-2 fit to a serving store (see
+        :meth:`AnECI.export_serving`); the version key derives from the
+        denoised graph, so a different noise draw exports separately."""
+        self._require_fitted()
+        info = {"model": "aneci_plus"}
+        if meta:
+            info.update(meta)
+        return self.stage2.export_serving(
+            directory, graph or self._denoised_graph, meta=info)
+
     @property
     def denoised_graph(self) -> Graph:
         self._require_fitted()

@@ -1,0 +1,54 @@
+"""Strict-JSON serialisation shared by every ``--json`` surface.
+
+``repro evaluate --json``, ``repro embed --json`` and the serving
+layer's ``repro serve query --json`` / HTTP responses all emit records
+that may contain floats computed from model output — which can be NaN
+or ±inf (a degenerate metric, an empty community, a diverged fit).
+Strict JSON has no token for those values, so every emitter funnels
+through this module: :func:`json_sanitize` maps non-finite numbers to
+``null`` recursively, and :func:`dumps` refuses (``allow_nan=False``)
+to serialise anything that slipped past it — a non-finite value fails
+loudly instead of printing ``NaN`` tokens no strict parser accepts.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+__all__ = ["json_sanitize", "dumps", "finite_or_none"]
+
+
+def finite_or_none(value) -> float | None:
+    """One scalar: ``float(value)``, or ``None`` when non-finite."""
+    value = float(value)
+    return value if math.isfinite(value) else None
+
+
+def json_sanitize(value):
+    """Recursively coerce ``value`` into strict-JSON-safe plain types.
+
+    Non-finite floats become ``None``; numpy scalars and arrays become
+    python scalars and lists (then sanitised); dict keys are stringified
+    where needed; tuples/sets become lists.  Unknown objects fall back
+    to ``str`` so a stray type can never break an output path.
+    """
+    if value is None or isinstance(value, (bool, str, int)):
+        return value
+    if isinstance(value, float):
+        return value if math.isfinite(value) else None
+    if isinstance(value, dict):
+        return {str(k): json_sanitize(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set)):
+        return [json_sanitize(v) for v in value]
+    # numpy scalars expose item(); arrays expose tolist().
+    if hasattr(value, "item") and not hasattr(value, "__len__"):
+        return json_sanitize(value.item())
+    if hasattr(value, "tolist"):
+        return json_sanitize(value.tolist())
+    return str(value)
+
+
+def dumps(record, **kwargs) -> str:
+    """Sanitise then serialise with ``allow_nan=False`` (strict JSON)."""
+    return json.dumps(json_sanitize(record), allow_nan=False, **kwargs)

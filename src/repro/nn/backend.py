@@ -182,6 +182,47 @@ def _np_sgd_step(p: np.ndarray, grad: np.ndarray,
     p -= buf
 
 
+def _np_gemm(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dense blocked-GEMM reference used by the serving index.
+
+    ``a @ b`` delegates straight to BLAS — already the fastest kernel on
+    this box — but routing it through the dispatch makes the serving
+    layer's per-query matmul volume observable in the op counters, same
+    as the training kernels.
+    """
+    return a @ b
+
+
+def _np_topk(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest entries along the last axis.
+
+    ``argpartition`` (introselect, O(n)) narrows to ``k`` candidates,
+    which are then ordered by ``(-score, index)`` — descending score
+    with ties broken toward the *lower* index — so the result is fully
+    deterministic: serial and batched queries, and any two backends,
+    rank equal scores identically.
+    """
+    scores = np.asarray(scores)
+    single = scores.ndim == 1
+    s = scores.reshape(1, -1) if single else scores
+    n = s.shape[-1]
+    kk = min(int(k), n)
+    if kk <= 0:
+        out = np.empty((s.shape[0], 0), dtype=np.int64)
+    else:
+        if kk < n:
+            part = np.argpartition(s, n - kk, axis=-1)[:, n - kk:]
+            part = part.astype(np.int64, copy=False)
+            vals = np.take_along_axis(s, part, axis=-1)
+        else:
+            part = np.broadcast_to(np.arange(n, dtype=np.int64), s.shape)
+            vals = s
+        order = np.lexsort((part, -vals), axis=-1)[:, :kk]
+        out = np.take_along_axis(part, order, axis=-1)
+        out = np.ascontiguousarray(out, dtype=np.int64)
+    return out[0] if single else out
+
+
 def _pairwise_sum(a: np.ndarray, start: int, n: int, zero):
     """Python replication of numpy's pairwise summation (test reference).
 
@@ -567,6 +608,21 @@ class KernelBackend:
         """Map a :meth:`NeighborSampler.plan` to kept CSR positions."""
         _record("neighbor", False)
         return _np_nbr_apply(*plan)
+
+    def matmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Dense GEMM for the serving index's similarity scoring.
+
+        Both backends serve this from BLAS (a compiled twin could not
+        beat it), so the compiled backend inherits the numpy reference
+        and the fallback counter records that honestly.
+        """
+        _record("gemm", False)
+        return _np_gemm(a, b)
+
+    def topk_indices(self, scores: np.ndarray, k: int) -> np.ndarray:
+        """Deterministic top-k selection (see :func:`_np_topk`)."""
+        _record("topk", False)
+        return _np_topk(scores, k)
 
     def fused_ops(self) -> dict[str, bool]:
         """Which ops run a compiled kernel (all False for the reference)."""

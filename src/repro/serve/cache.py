@@ -1,0 +1,82 @@
+"""LRU result cache for the serving front end.
+
+Keys are ``(store_version, query)`` tuples — the version component makes
+staleness structurally impossible: after a hot reload the server queries
+under the new version string, so every pre-reload entry simply stops
+being addressable and ages out of the LRU order.  Hits and misses are
+counted in :mod:`repro.obs.metrics` (``serve.cache.hits`` /
+``serve.cache.misses``) and the server reports the hit rate in
+``/stats`` and the run ledger.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from ..obs import metrics
+
+__all__ = ["LRUCache"]
+
+
+class LRUCache:
+    """A bounded mapping with least-recently-used eviction.
+
+    Not thread-safe by itself; the serving front end only touches it
+    from the event-loop thread, where single-threaded access is
+    guaranteed.  ``capacity <= 0`` disables caching entirely (every
+    ``get`` misses, ``put`` is a no-op), which keeps call sites free of
+    conditionals.
+    """
+
+    def __init__(self, capacity: int = 4096, *,
+                 registry: metrics.MetricsRegistry | None = None):
+        self.capacity = int(capacity)
+        self._data: OrderedDict = OrderedDict()
+        reg = registry if registry is not None else metrics.registry()
+        self._hits = reg.counter("serve.cache.hits")
+        self._misses = reg.counter("serve.cache.misses")
+        self._evictions = reg.counter("serve.cache.evictions")
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __contains__(self, key) -> bool:
+        return key in self._data
+
+    def get(self, key):
+        """Return the cached value (refreshing recency) or ``None``."""
+        try:
+            value = self._data[key]
+        except KeyError:
+            self._misses.inc()
+            return None
+        self._data.move_to_end(key)
+        self._hits.inc()
+        return value
+
+    def put(self, key, value) -> None:
+        """Insert/refresh ``key``, evicting the LRU entry when full."""
+        if self.capacity <= 0:
+            return
+        if key in self._data:
+            self._data.move_to_end(key)
+        self._data[key] = value
+        if len(self._data) > self.capacity:
+            self._data.popitem(last=False)
+            self._evictions.inc()
+
+    def clear(self) -> None:
+        self._data.clear()
+
+    def stats(self) -> dict:
+        hits = int(self._hits.value)
+        misses = int(self._misses.value)
+        total = hits + misses
+        return {
+            "size": len(self._data),
+            "capacity": self.capacity,
+            "hits": hits,
+            "misses": misses,
+            "evictions": int(self._evictions.value),
+            "hit_rate": (hits / total) if total else None,
+        }

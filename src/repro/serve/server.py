@@ -1,0 +1,533 @@
+"""Asyncio HTTP front end over a loaded store + k-NN index.
+
+Stdlib only: :func:`asyncio.start_server` speaks just enough HTTP/1.1
+(keep-alive, ``Content-Length`` bodies) to serve JSON over persistent
+connections.  Three moving parts:
+
+Micro-batching
+    k-NN requests (``/similar`` and ``/query``) do not run inline in
+    their connection handler — they enqueue onto a single batching task
+    that waits up to ``REPRO_SERVE_BATCH_WINDOW_MS`` for more work and
+    then answers the whole batch with one pass over the embedding
+    matrix (``index.query_vectors``).  Per-request ``k`` values batch
+    as one query at the maximum ``k``; because result order is fully
+    deterministic (descending score, ties toward the lower id), the
+    first ``k`` rows of a larger answer *are* the smaller answer, so
+    batched responses stay bit-identical to serial ones.
+
+LRU cache
+    Results cache under ``(store version, endpoint, request)`` keys
+    (:class:`repro.serve.cache.LRUCache`).  Keying on the version makes
+    the cache structurally incapable of serving a stale store: after
+    ``/reload`` swaps in a new version, old entries are unreachable.
+
+Metrics
+    p50/p99 request latency (ring buffer), cache hit-rate, and batch
+    occupancy, exposed on ``/stats``, pushed into
+    :mod:`repro.obs.metrics` gauges, and recorded into the run ledger
+    (kind ``serve``) on shutdown.
+
+:func:`load_generator` is the closed-loop benchmark client used by
+``benchmarks/test_perf_serve.py``: ``concurrency`` keep-alive
+connections each issue requests back-to-back until the target count.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from collections import deque
+from urllib.parse import parse_qs, urlsplit
+
+import numpy as np
+
+from .. import jsonio
+from ..obs import events, metrics
+from ..obs import store as runledger
+from .cache import LRUCache
+from .index import build_index
+from .store import EmbeddingStore
+
+__all__ = ["EmbeddingServer", "load_generator", "percentile"]
+
+_REASONS = {200: "OK", 400: "Bad Request", 404: "Not Found",
+            405: "Method Not Allowed", 500: "Internal Server Error"}
+
+#: Latency ring buffer length — enough for stable p99 without unbounded
+#: growth under the load generator.
+_LATENCY_WINDOW = 4096
+
+
+def percentile(samples, q: float) -> float | None:
+    """Nearest-rank percentile (``q`` in [0, 1]) of a sample list."""
+    if not samples:
+        return None
+    ordered = sorted(samples)
+    rank = min(len(ordered) - 1, max(0, round(q * (len(ordered) - 1))))
+    return ordered[rank]
+
+
+class _Pending:
+    """One enqueued k-NN request: inputs plus the future to resolve."""
+
+    __slots__ = ("kind", "node", "vector", "k", "cache_key", "future")
+
+    def __init__(self, kind, node, vector, k, cache_key, future):
+        self.kind = kind
+        self.node = node
+        self.vector = vector
+        self.k = k
+        self.cache_key = cache_key
+        self.future = future
+
+
+class EmbeddingServer:
+    """Serve one :class:`EmbeddingStore` directory over HTTP.
+
+    Parameters
+    ----------
+    directory:
+        Store root (as written by ``export_serving`` / ``serve export``).
+    host, port:
+        Bind address; ``port=0`` picks a free port (see ``self.port``
+        after :meth:`start`).
+    index_spec:
+        Index backend name (``None`` → ``REPRO_SERVE_INDEX`` → exact).
+    batch_window_ms:
+        Micro-batch coalescing window (``None`` →
+        ``REPRO_SERVE_BATCH_WINDOW_MS``, default 2.0; 0 batches only
+        already-queued work).
+    cache_size:
+        LRU capacity (``None`` → ``REPRO_SERVE_CACHE``, default 4096;
+        0 disables).
+    """
+
+    def __init__(self, directory: str, host: str = "127.0.0.1",
+                 port: int = 0, index_spec: str | None = None,
+                 batch_window_ms: float | None = None,
+                 cache_size: int | None = None,
+                 max_batch: int | None = None, backend=None,
+                 index_kwargs: dict | None = None):
+        self.directory = str(directory)
+        self.host = host
+        self.port = int(port)
+        self._index_spec = index_spec
+        self._backend = backend
+        self._index_kwargs = dict(index_kwargs or {})
+        if batch_window_ms is None:
+            batch_window_ms = float(
+                os.environ.get("REPRO_SERVE_BATCH_WINDOW_MS") or 2.0)
+        self.batch_window_s = max(0.0, float(batch_window_ms)) / 1000.0
+        if cache_size is None:
+            cache_size = int(os.environ.get("REPRO_SERVE_CACHE") or 4096)
+        if max_batch is None:
+            max_batch = int(os.environ.get("REPRO_SERVE_MAX_BATCH") or 64)
+        self.max_batch = max(1, int(max_batch))
+        self.cache = LRUCache(cache_size)
+        self._store = EmbeddingStore(self.directory)
+        self._latencies: deque = deque(maxlen=_LATENCY_WINDOW)
+        self._batch_sizes: deque = deque(maxlen=_LATENCY_WINDOW)
+        self._requests = metrics.registry().counter("serve.requests")
+        self._batches = metrics.registry().counter("serve.batches")
+        self._queue: asyncio.Queue | None = None
+        self._server: asyncio.base_events.Server | None = None
+        self._batcher: asyncio.Task | None = None
+        self.reload()
+
+    # -- store lifecycle -------------------------------------------------- #
+    def reload(self) -> str:
+        """(Re)load the newest valid store version and rebuild the index.
+
+        Swapping ``self.serving`` / ``self.index`` is a plain attribute
+        assignment on the event-loop thread, so every batch executed
+        after the swap — including requests enqueued before it — runs
+        against the new version and caches under its key.
+        """
+        serving = self._store.load()
+        index = build_index(serving, self._index_spec,
+                            backend=self._backend, **self._index_kwargs)
+        self.serving = serving
+        self.index = index
+        events.emit("serve_reload", store=self.directory,
+                    version=serving.version, index=index.name)
+        return serving.version
+
+    # -- lifecycle --------------------------------------------------------- #
+    async def start(self) -> None:
+        """Bind the listener and start the micro-batching task."""
+        self._queue = asyncio.Queue()
+        self._server = await asyncio.start_server(self._handle, self.host,
+                                                  self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+        self._batcher = asyncio.create_task(self._batch_loop())
+        events.emit("serve_start", host=self.host, port=self.port,
+                    version=self.serving.version, index=self.index.name)
+
+    async def stop(self) -> None:
+        """Close the listener, stop the batcher, record the ledger row."""
+        if self._batcher is not None:
+            self._batcher.cancel()
+            try:
+                await self._batcher
+            except asyncio.CancelledError:
+                pass
+            self._batcher = None
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        summary = self.stats()
+        reg = metrics.registry()
+        if summary["latency_ms"]["p50"] is not None:
+            reg.gauge("serve.latency_p50_ms").set(
+                summary["latency_ms"]["p50"])
+            reg.gauge("serve.latency_p99_ms").set(
+                summary["latency_ms"]["p99"])
+        if summary["batch"]["occupancy_mean"] is not None:
+            reg.gauge("serve.batch.occupancy").set(
+                summary["batch"]["occupancy_mean"])
+        runledger.record(
+            "serve", f"serve:{self.serving.version}",
+            requests=summary["requests"],
+            p50_ms=summary["latency_ms"]["p50"],
+            p99_ms=summary["latency_ms"]["p99"],
+            cache_hit_rate=summary["cache"]["hit_rate"],
+            batch_occupancy=summary["batch"]["occupancy_mean"],
+            index=self.index.name, version=self.serving.version)
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "call start() first"
+        await self._server.serve_forever()
+
+    # -- stats ------------------------------------------------------------- #
+    def stats(self) -> dict:
+        lat = list(self._latencies)
+        sizes = list(self._batch_sizes)
+        return {
+            "version": self.serving.version,
+            "index": self.index.name,
+            "nodes": self.serving.num_nodes,
+            "dim": self.serving.dim,
+            "requests": int(self._requests.value),
+            "latency_ms": {
+                "count": len(lat),
+                "p50": percentile(lat, 0.50),
+                "p99": percentile(lat, 0.99),
+            },
+            "cache": self.cache.stats(),
+            "batch": {
+                "batches": int(self._batches.value),
+                "occupancy_mean": (sum(sizes) / len(sizes)
+                                   if sizes else None),
+                "occupancy_max": max(sizes) if sizes else None,
+            },
+        }
+
+    # -- micro-batching ---------------------------------------------------- #
+    async def _batch_loop(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await self._queue.get()
+            batch = [first]
+            deadline = loop.time() + self.batch_window_s
+            while len(batch) < self.max_batch:
+                remaining = deadline - loop.time()
+                if remaining <= 0 and self._queue.empty():
+                    break
+                try:
+                    item = (self._queue.get_nowait() if remaining <= 0
+                            else await asyncio.wait_for(self._queue.get(),
+                                                        remaining))
+                except (asyncio.TimeoutError, asyncio.QueueEmpty):
+                    break
+                batch.append(item)
+            try:
+                self._run_batch(batch)
+            except Exception as exc:  # resolve futures, keep serving
+                for item in batch:
+                    if not item.future.done():
+                        item.future.set_exception(
+                            RuntimeError(f"batch failed: {exc}"))
+
+    def _run_batch(self, batch: list[_Pending]) -> None:
+        """Answer one coalesced batch against the current store/index."""
+        serving, index = self.serving, self.index
+        knn = [p for p in batch if p.kind in ("similar", "query")]
+        if knn:
+            self._batches.inc()
+            self._batch_sizes.append(len(knn))
+            vectors = np.empty((len(knn), serving.dim), dtype=np.float64)
+            exclude: list[int | None] = []
+            for row, p in enumerate(knn):
+                if p.kind == "similar":
+                    vectors[row] = serving.normalized_rows(
+                        np.array([p.node]))[0]
+                    exclude.append(p.node)
+                else:
+                    vectors[row] = p.vector
+                    exclude.append(None)
+            kmax = max(p.k for p in knn)
+            answers = index.query_vectors(vectors, kmax, exclude=exclude)
+            for p, (ids, scores) in zip(knn, answers):
+                self._resolve(p, serving.version,
+                              (ids[:p.k], scores[:p.k]))
+        for p in batch:
+            if p.kind == "community":
+                ids, scores = index.same_community(p.node, p.k)
+                self._resolve(p, serving.version, (ids, scores))
+
+    def _resolve(self, pending: _Pending, version: str, result) -> None:
+        if pending.cache_key is not None:
+            self.cache.put((version, *pending.cache_key), result)
+        if not pending.future.done():
+            pending.future.set_result((version, result))
+
+    async def _submit(self, kind: str, node: int | None,
+                      vector: np.ndarray | None, k: int, cache_key):
+        """Cache lookup, else enqueue for the batcher and await."""
+        version = self.serving.version
+        if cache_key is not None:
+            hit = self.cache.get((version, *cache_key))
+            if hit is not None:
+                return version, hit, True
+        future = asyncio.get_running_loop().create_future()
+        await self._queue.put(_Pending(kind, node, vector, k, cache_key,
+                                       future))
+        version, result = await future
+        return version, result, False
+
+    # -- HTTP -------------------------------------------------------------- #
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        try:
+            while True:
+                request = await self._read_request(reader)
+                if request is None:
+                    break
+                method, path, params, body = request
+                started = time.perf_counter()
+                try:
+                    status, payload = await self._dispatch(method, path,
+                                                           params, body)
+                except _HttpError as exc:
+                    status, payload = exc.status, {"error": str(exc)}
+                except Exception as exc:
+                    status, payload = 500, {"error": f"{type(exc).__name__}:"
+                                                     f" {exc}"}
+                body_bytes = jsonio.dumps(payload).encode()
+                head = (f"HTTP/1.1 {status} {_REASONS.get(status, 'OK')}\r\n"
+                        f"Content-Type: application/json\r\n"
+                        f"Content-Length: {len(body_bytes)}\r\n"
+                        f"Connection: keep-alive\r\n\r\n")
+                writer.write(head.encode() + body_bytes)
+                await writer.drain()
+                self._requests.inc()
+                self._latencies.append(
+                    (time.perf_counter() - started) * 1000.0)
+        except (ConnectionResetError, BrokenPipeError, asyncio.LimitOverrunError):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    @staticmethod
+    async def _read_request(reader):
+        line = await reader.readline()
+        if not line or line in (b"\r\n", b"\n"):
+            return None
+        try:
+            method, target, _ = line.decode("latin-1").split(None, 2)
+        except ValueError:
+            return None
+        content_length = 0
+        while True:
+            header = await reader.readline()
+            if not header or header in (b"\r\n", b"\n"):
+                break
+            name, _, value = header.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    content_length = 0
+        body = (await reader.readexactly(content_length)
+                if content_length else b"")
+        split = urlsplit(target)
+        params = {key: values[-1]
+                  for key, values in parse_qs(split.query).items()}
+        return method.upper(), split.path, params, body
+
+    async def _dispatch(self, method, path, params, body):
+        if path == "/healthz":
+            return 200, {"status": "ok", "version": self.serving.version,
+                         "index": self.index.name,
+                         "nodes": self.serving.num_nodes}
+        if path == "/stats":
+            return 200, self.stats()
+        if path == "/reload":
+            if method != "POST":
+                raise _HttpError(405, "POST /reload")
+            version = self.reload()
+            return 200, {"status": "reloaded", "version": version}
+        if path == "/similar":
+            node = self._node_param(params)
+            k = self._k_param(params)
+            version, (ids, scores), cached = await self._submit(
+                "similar", node, None, k, ("similar", node, k))
+            return 200, {"version": version, "node": node, "k": k,
+                         "cached": cached, "ids": ids, "scores": scores}
+        if path == "/community":
+            node = self._node_param(params)
+            k = self._k_param(params)
+            community = int(self.serving.communities()[node])
+            version, (ids, scores), cached = await self._submit(
+                "community", node, None, k, ("community", node, k))
+            return 200, {"version": version, "node": node, "k": k,
+                         "community": community, "cached": cached,
+                         "ids": ids, "scores": scores}
+        if path == "/query":
+            vector, k = self._vector_request(params, body)
+            key = ("query", vector.tobytes(), k)
+            version, (ids, scores), cached = await self._submit(
+                "query", None, vector, k, key)
+            return 200, {"version": version, "k": k, "cached": cached,
+                         "ids": ids, "scores": scores}
+        raise _HttpError(404, f"no route for {path}")
+
+    # -- parameter parsing -------------------------------------------------- #
+    def _node_param(self, params) -> int:
+        try:
+            node = int(params["node"])
+        except (KeyError, ValueError):
+            raise _HttpError(400, "node must be an integer") from None
+        if not 0 <= node < self.serving.num_nodes:
+            raise _HttpError(
+                400, f"node {node} out of range [0, "
+                     f"{self.serving.num_nodes})")
+        return node
+
+    def _k_param(self, params) -> int:
+        try:
+            k = int(params.get("k", 10))
+        except ValueError:
+            raise _HttpError(400, "k must be an integer") from None
+        return max(1, min(k, self.serving.num_nodes))
+
+    def _vector_request(self, params, body):
+        vector = None
+        k = None
+        if body:
+            try:
+                payload = json.loads(body.decode())
+            except ValueError:
+                raise _HttpError(400, "body must be JSON") from None
+            vector = payload.get("vector")
+            k = payload.get("k")
+        if vector is None and "vector" in params:
+            vector = params["vector"].split(",")
+        if vector is None:
+            raise _HttpError(400, "missing query vector")
+        try:
+            vector = np.asarray([float(v) for v in vector],
+                                dtype=np.float64)
+        except (TypeError, ValueError):
+            raise _HttpError(400, "vector must be numeric") from None
+        if vector.shape != (self.serving.dim,):
+            raise _HttpError(400, f"vector must have dim "
+                                  f"{self.serving.dim}, got {vector.size}")
+        if k is None:
+            k = params.get("k", 10)
+        try:
+            k = int(k)
+        except ValueError:
+            raise _HttpError(400, "k must be an integer") from None
+        return vector, max(1, min(k, self.serving.num_nodes))
+
+
+class _HttpError(RuntimeError):
+    def __init__(self, status: int, message: str):
+        super().__init__(message)
+        self.status = status
+
+
+# --------------------------------------------------------------------- #
+# Closed-loop load generator                                             #
+# --------------------------------------------------------------------- #
+
+async def load_generator(host: str, port: int, paths: list[str],
+                         total_requests: int,
+                         concurrency: int = 8) -> dict:
+    """Drive the server closed-loop over keep-alive connections.
+
+    ``concurrency`` clients share one global request budget; each opens
+    a persistent connection and issues requests back-to-back (cycling
+    through ``paths``), so measured throughput includes the full HTTP
+    round-trip.  Returns aggregate req/s plus latency percentiles.
+    """
+    counter = {"next": 0}
+    latencies: list[float] = []
+    statuses: dict[int, int] = {}
+
+    async def client() -> None:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            while True:
+                seq = counter["next"]
+                if seq >= total_requests:
+                    break
+                counter["next"] = seq + 1
+                path = paths[seq % len(paths)]
+                started = time.perf_counter()
+                writer.write(f"GET {path} HTTP/1.1\r\n"
+                             f"Host: {host}\r\n\r\n".encode())
+                await writer.drain()
+                status, _ = await _read_response(reader)
+                latencies.append(
+                    (time.perf_counter() - started) * 1000.0)
+                statuses[status] = statuses.get(status, 0) + 1
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except Exception:
+                pass
+
+    started = time.perf_counter()
+    await asyncio.gather(*(client() for _ in range(max(1, concurrency))))
+    elapsed = time.perf_counter() - started
+    done = len(latencies)
+    return {
+        "requests": done,
+        "concurrency": int(concurrency),
+        "elapsed_s": elapsed,
+        "rps": (done / elapsed) if elapsed > 0 else None,
+        "p50_ms": percentile(latencies, 0.50),
+        "p99_ms": percentile(latencies, 0.99),
+        "statuses": statuses,
+    }
+
+
+async def _read_response(reader: asyncio.StreamReader) -> tuple[int, bytes]:
+    """Read one HTTP/1.1 response (status + Content-Length body)."""
+    line = await reader.readline()
+    if not line:
+        raise ConnectionResetError("server closed connection")
+    parts = line.decode("latin-1").split(None, 2)
+    status = int(parts[1]) if len(parts) > 1 else 0
+    content_length = 0
+    while True:
+        header = await reader.readline()
+        if not header or header in (b"\r\n", b"\n"):
+            break
+        name, _, value = header.decode("latin-1").partition(":")
+        if name.strip().lower() == "content-length":
+            content_length = int(value.strip())
+    body = (await reader.readexactly(content_length)
+            if content_length else b"")
+    return status, body

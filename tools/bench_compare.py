@@ -12,7 +12,12 @@ median), ``BENCH_dtype.json`` (``benchmarks/test_perf_dtype.py``,
 median) and ``BENCH_scale.json`` (``benchmarks/test_perf_scale.py``,
 ``after_s`` = the sampled-mode wall time — whole fit for the parity
 case, marginal per-epoch time for the sampled-only scale cases, whose
-``before_s`` is null because no full-batch contender fits in memory).
+``before_s`` is null because no full-batch contender fits in memory)
+and ``BENCH_serve.json`` (``benchmarks/test_perf_serve.py``,
+``after_s`` = seconds per served request for the load-generator cases,
+per-batch/per-lookup/per-query time for the IVF, cached-argmax and
+mmap cases; throughput-style fields like ``rps`` ride along as
+context).
 
 A missing baseline, or a baseline written by a smoke run (``"smoke":
 true``), is not an error: CI compares against artifacts that may not

@@ -30,6 +30,7 @@ PACKAGES = [
     "repro.obs",
     "repro.parallel",
     "repro.resilience",
+    "repro.serve",
 ]
 
 #: Hand-written markdown appended after a package's generated section;
@@ -288,6 +289,44 @@ run, pool workers included.  Every firing emits a `fault_injected`
 event and bumps `faults.injected`, so chaos runs audit themselves.
 CI's chaos-smoke leg runs the critical tests under crash + NaN
 injection; `tests/test_resilience.py` holds the full contract.
+""",
+    "repro.serve": """\
+### Serving guide
+
+`AnECI.export_serving(dir)` / `AnECIPlus.export_serving(dir)` publish a
+fitted model — float32 embeddings plus softmax memberships — into a
+versioned store under `dir/versions/<run key>/`, written atomically and
+BLAKE2b-checksummed; `EmbeddingStore.load()` maps the newest usable
+version back read-only (`np.load(mmap_mode="r")`), warning and falling
+back past a corrupt head exactly like the checkpoint store.
+
+Indexes answer cosine k-NN with a deterministic total order (score
+descending, then node id ascending) and a bit-identity contract between
+batched and serial queries: at import the backend probes whether BLAS
+GEMM columns equal per-query GEMV bit-for-bit and degrades honestly if
+not.  `build_index(store)` resolves `REPRO_SERVE_INDEX` (`exact` |
+`ivf`); the IVF backend clusters the store with `repro.cluster.kmeans`
+(`REPRO_SERVE_CELLS`/`REPRO_SERVE_PROBES`) and widens its probe count
+against exact search until recall@10 ≥ 0.95, falling back to exact —
+with a warning and a `serve_index_fallback` event — when the floor is
+unreachable.
+
+The asyncio server micro-batches requests inside
+`REPRO_SERVE_BATCH_WINDOW_MS` (mixed `k`s batch at `max(k)` and trim —
+sound because ranking is a total order), caches results in an LRU keyed
+by `(store version, query)` (`REPRO_SERVE_CACHE`; a `/reload` bumps the
+version so stale hits are structurally impossible), and records p50/p99
+latency, hit rate and batch occupancy into `repro.obs` metrics and the
+run ledger.
+
+```bash
+python -m repro serve export --dataset cora --epochs 100 --store ./store
+python -m repro serve query --store ./store --node 7 -k 10 --json
+python -m repro serve run --store ./store --port 8707
+# tracked benchmark: throughput, recall, cached-argmax, 100k-store memory
+PYTHONPATH=src python -m pytest benchmarks/test_perf_serve.py -q
+python tools/bench_compare.py BENCH_serve.json /tmp/BENCH_serve.json
+```
 """,
 }
 
