@@ -22,6 +22,11 @@ Five cases feed the tracked ``BENCH_serve.json`` at the repo root
 * ``mmap_100k`` — serving queries from a 100k × 128 store must stream
   from the memory map: the tracemalloc peak across load + norms +
   argmax + queries stays under half the full embedding matrix.
+* ``chaos_degrade_25k`` — the guard under probabilistic ``slow_index``
+  / ``index_error`` faults: the retrying load generator must see only
+  ``200``/``503``/``504`` answers, the breaker must register the
+  faults, and once they stop the server must probe its way back to
+  ``ok``.
 
 ``hardware_limited`` is honest: absolute req/s on a single core without
 numba is pessimistic; the recall, caching and memory gates do not
@@ -48,6 +53,7 @@ import numpy as np
 import pytest
 
 from repro.nn.backend import NUMBA_AVAILABLE
+from repro.resilience import faultinject
 from repro.serve import EmbeddingServer, EmbeddingStore, ExactIndex, IVFIndex
 from repro.serve.server import load_generator
 
@@ -73,6 +79,8 @@ CASES = {
     "mmap_100k": dict(
         nodes=8_000 if SMOKE else 100_000, dim=128,
         queries=5 if SMOKE else 20),
+    "chaos_degrade_25k": dict(
+        requests=80 if SMOKE else 400, concurrency=8),
 }
 
 _RESULTS: dict[str, dict] = {}
@@ -306,12 +314,78 @@ def run_mmap(name):
     return result
 
 
+def run_chaos(name):
+    spec = CASES[name]
+    store = main_store()
+    paths = [f"/similar?node={node}&k=10" for node in range(0, 128, 2)]
+    # Seeds chosen so both kinds fire within the first handful of batch
+    # calls — a smoke-sized run coalesces into few batches, and each
+    # batch is exactly one injection-point call.
+    plan = "slow_index@p=0.2,seed=6,s=0.3;index_error@p=0.15,seed=6"
+
+    async def drive():
+        # cache off + small batches: every request pays an index call,
+        # so the fault schedule above is actually reached.
+        server = EmbeddingServer(store_dir(store), cache_size=0,
+                                 max_batch=8, deadline_ms=250,
+                                 breaker_threshold=3,
+                                 breaker_cooldown_ms=150)
+        await server.start()
+        with faultinject.injected(plan):
+            report = await load_generator(
+                "127.0.0.1", server.port, paths, spec["requests"],
+                concurrency=spec["concurrency"], retries=3,
+                backoff_base_s=0.02, backoff_cap_s=0.2)
+        # Faults off: probe traffic walks the ladder back up to ok.
+        recovered = server.health_status() == "ok"
+        for _ in range(60):
+            if recovered:
+                break
+            await load_generator("127.0.0.1", server.port, paths[:1], 3,
+                                 concurrency=1, retries=0)
+            recovered = server.health_status() == "ok"
+            await asyncio.sleep(0.1)
+        g = server.stats()["guard"]
+        await server.stop()
+        return report, g, recovered
+
+    report, g, recovered = asyncio.run(drive())
+    result = {
+        "case": name,
+        "nodes": store.num_nodes,
+        "dim": store.dim,
+        "requests": report["requests"],
+        "concurrency": report["concurrency"],
+        "before_s": None,
+        "after_s": round(report["elapsed_s"] / report["requests"], 6),
+        "rps": round(report["rps"], 1),
+        "p50_ms": report["p50_ms"],
+        "p99_ms": report["p99_ms"],
+        "statuses": {str(k): v for k, v in report["statuses"].items()},
+        "client_retries": report["retries"],
+        "client_gave_up": report["gave_up"],
+        "shed": g["shed"]["total"],
+        "deadline_timeouts": g["deadline_timeouts"],
+        "breaker_failures": g["breaker"]["failures"],
+        "breaker_trips": g["breaker"]["trips"],
+        "recovered": recovered,
+        "hardware_limited": HARDWARE_LIMITED,
+    }
+    _RESULTS[name] = result
+    print(f"\n[{name}] rps={result['rps']} statuses={result['statuses']} "
+          f"retries={result['client_retries']} "
+          f"breaker_failures={result['breaker_failures']} "
+          f"recovered={recovered}")
+    return result
+
+
 _RUNNERS = {
     "serve_cached_25k": run_cached,
     "serve_uncached_25k": run_uncached,
     "ivf_recall_25k": run_ivf,
     "argmax_cache_micro": run_argmax_micro,
     "mmap_100k": run_mmap,
+    "chaos_degrade_25k": run_chaos,
 }
 
 
@@ -361,6 +435,18 @@ def test_mmap_never_materialises_matrix():
     result = run_case("mmap_100k")
     # Serving must stream: stay under half the full embedding matrix.
     assert result["peak_bytes"] < result["matrix_bytes"] / 2
+
+
+def test_chaos_degrade_gate():
+    result = run_case("chaos_degrade_25k")
+    # Faults never surface as wrong or mystery answers: every request
+    # ends shed (503), timed out (504) or correctly answered (200).
+    assert set(result["statuses"]) <= {"200", "503", "504"}
+    assert result["statuses"].get("200", 0) > 0
+    # The injected faults actually bit...
+    assert result["breaker_failures"] > 0
+    # ...and the breaker probed its way back once they stopped.
+    assert result["recovered"] is True
 
 
 def test_write_results():

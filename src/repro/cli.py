@@ -216,6 +216,11 @@ def build_parser() -> argparse.ArgumentParser:
     sq.add_argument("--index", default=None,
                     help="index backend (default: $REPRO_SERVE_INDEX, "
                          "else exact)")
+    sq.add_argument("--retries", type=int, default=2,
+                    help="jittered-backoff retries on transient store/"
+                         "index failures (default 2)")
+    sq.add_argument("--retry-base-ms", type=float, default=50.0,
+                    help="base backoff delay in ms (default 50)")
     sq.add_argument("--json", action="store_true",
                     help="print a structured JSON record instead of text")
     sr = srv_sub.add_parser(
@@ -226,6 +231,12 @@ def build_parser() -> argparse.ArgumentParser:
     sr.add_argument("--index", default=None,
                     help="index backend (default: $REPRO_SERVE_INDEX, "
                          "else exact)")
+    sr.add_argument("--queue", type=int, default=None,
+                    help="admission queue bound (default: "
+                         "$REPRO_SERVE_QUEUE, else 1024; 0 = unbounded)")
+    sr.add_argument("--deadline-ms", type=float, default=None,
+                    help="per-request deadline (default: "
+                         "$REPRO_SERVE_DEADLINE_MS, else 1000; 0 disables)")
     return parser
 
 
@@ -675,21 +686,35 @@ def cmd_serve(args) -> int:
         return 0
 
     if verb == "query":
-        from .serve import EmbeddingStore, build_index
-        serving = EmbeddingStore(args.store).load()
-        index = build_index(serving, args.index)
-        if args.vector is not None:
-            vector = np.asarray([float(v) for v in args.vector.split(",")])
-            ids, scores = index.query_vector(vector, args.k)
-            mode = "vector"
-        elif args.node is not None:
-            query = (index.same_community if args.mode == "community"
-                     else index.similar_nodes)
-            ids, scores = query(args.node, args.k)
-            mode = args.mode
-        else:
+        from .serve import EmbeddingStore, build_index, retry_call
+
+        def _answer():
+            # The whole load→index→query pipeline retries as one unit:
+            # a transient fault (e.g. an injected shard_corrupt_read)
+            # reloads the store, which falls back down the version
+            # pointer history if the newest shards really are damaged.
+            serving = EmbeddingStore(args.store).load()
+            index = build_index(serving, args.index)
+            if args.vector is not None:
+                vector = np.asarray(
+                    [float(v) for v in args.vector.split(",")])
+                ids, scores = index.query_vector(vector, args.k)
+                mode = "vector"
+            elif args.node is not None:
+                query = (index.same_community if args.mode == "community"
+                         else index.similar_nodes)
+                ids, scores = query(args.node, args.k)
+                mode = args.mode
+            else:
+                return None
+            return serving, index, mode, ids, scores
+
+        answer = retry_call(_answer, retries=max(0, args.retries),
+                            base_s=max(0.0, args.retry_base_ms) / 1000.0)
+        if answer is None:
             print("serve query needs --node or --vector", file=sys.stderr)
             return 2
+        serving, index, mode, ids, scores = answer
         record = {"command": "serve-query", "store": str(args.store),
                   "version": serving.version, "index": index.name,
                   "mode": mode, "node": args.node, "k": args.k,
@@ -705,18 +730,36 @@ def cmd_serve(args) -> int:
 
     if verb == "run":
         import asyncio
+        import signal
         from .serve import EmbeddingServer
 
         async def _run() -> None:
             server = EmbeddingServer(args.store, host=args.host,
-                                     port=args.port, index_spec=args.index)
+                                     port=args.port, index_spec=args.index,
+                                     queue_limit=args.queue,
+                                     deadline_ms=args.deadline_ms)
             await server.start()
             print(f"serving {args.store} version {server.serving.version} "
                   f"({server.index.name} index) on "
                   f"http://{server.host}:{server.port}", flush=True)
+            done = asyncio.Event()
+            loop = asyncio.get_running_loop()
+            for sig in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(sig, done.set)
+                except (NotImplementedError, RuntimeError):
+                    pass  # non-Unix loop: fall back to KeyboardInterrupt
+            serving_task = asyncio.create_task(server.serve_forever())
+            waiter = asyncio.create_task(done.wait())
             try:
-                await server.serve_forever()
+                await asyncio.wait({serving_task, waiter},
+                                   return_when=asyncio.FIRST_COMPLETED)
             finally:
+                serving_task.cancel()
+                waiter.cancel()
+                print("draining...", flush=True)
+                # Graceful drain: finish in-flight requests, flush the
+                # run-ledger entry, then exit.
                 await server.stop()
 
         try:

@@ -39,8 +39,14 @@ and identical across processes.
 Fault kinds wired into the runtime: ``nan_loss`` (training loss, keyed
 by ``epoch``/``restart``), ``worker_crash`` and ``timeout`` (pool
 tasks, keyed by ``task``/``attempt``), ``checkpoint_corrupt``
-(snapshot writes, keyed by ``save``).  The plan itself is
-kind-agnostic; tests may invent their own kinds.
+(snapshot writes, keyed by ``save``).  The serving layer adds
+``slow_index`` (sleeps ``s`` seconds at the index scan) and
+``index_error`` (raises there), both keyed by the per-server batch
+``call``; ``queue_overflow`` (sheds at admission, keyed by the
+admission ``call``); and ``shard_corrupt_read`` (raises ``StoreError``
+at the mmap block-read choke point, keyed by the per-store read
+``call``).  The plan itself is kind-agnostic; tests may invent their
+own kinds.
 """
 
 from __future__ import annotations

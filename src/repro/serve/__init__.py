@@ -25,12 +25,22 @@ Three layers turn a finished fit into a high-throughput query surface:
     by (store version, query) and p50/p99 latency / hit-rate /
     batch-occupancy metrics via :mod:`repro.obs.metrics`.
 
+:mod:`repro.serve.guard`
+    Production hardening threaded through the front end: bounded
+    admission (``REPRO_SERVE_QUEUE``) with ``503`` load shedding,
+    per-request deadlines (``REPRO_SERVE_DEADLINE_MS``) answering
+    ``504``, a :class:`~repro.serve.guard.CircuitBreaker` that steps
+    the backend down ``ivf → exact → cache-only`` on consecutive
+    failures and probes its way back up, graceful drain on ``stop()``,
+    and deterministic client-side retry/backoff helpers.
+
 Models export with ``AnECI.export_serving(dir)`` /
 ``AnECIPlus.export_serving(dir)``; the CLI drives everything through
 ``repro serve export / query / run``.
 """
 
 from .cache import LRUCache
+from .guard import CircuitBreaker, backoff_delays, retry_call
 from .index import (ExactIndex, IVFIndex, build_index, known_index_backends)
 from .server import EmbeddingServer, load_generator
 from .store import (EmbeddingStore, ServingStore, StoreError, export_store)
@@ -39,4 +49,5 @@ __all__ = [
     "EmbeddingStore", "ServingStore", "StoreError", "export_store",
     "ExactIndex", "IVFIndex", "build_index", "known_index_backends",
     "LRUCache", "EmbeddingServer", "load_generator",
+    "CircuitBreaker", "backoff_delays", "retry_call",
 ]

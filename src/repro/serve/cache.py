@@ -68,6 +68,24 @@ class LRUCache:
     def clear(self) -> None:
         self._data.clear()
 
+    def evict_version(self, version) -> int:
+        """Drop every entry keyed under ``version`` (the first tuple
+        component); returns how many were evicted.
+
+        Version-keyed entries become unreachable the moment ``/reload``
+        swaps versions, but until they age out of the LRU order they
+        still occupy capacity — which matters exactly when the guard
+        degrades to cache-only serving.  The server calls this after a
+        reload so the whole budget belongs to the live version.
+        """
+        stale = [key for key in self._data
+                 if isinstance(key, tuple) and key and key[0] == version]
+        for key in stale:
+            del self._data[key]
+        if stale:
+            self._evictions.inc(len(stale))
+        return len(stale)
+
     def stats(self) -> dict:
         hits = int(self._hits.value)
         misses = int(self._misses.value)

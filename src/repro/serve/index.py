@@ -122,8 +122,7 @@ class KNNIndex:
                          for j in range(queries.shape[0])])
 
     def _normalized_block(self, start: int, stop: int) -> np.ndarray:
-        block = np.asarray(self.store.embeddings[start:stop],
-                           dtype=np.float64)
+        block = self.store.read_block(start, stop)
         block /= self.store.norms()[start:stop, None]
         return block
 

@@ -41,6 +41,7 @@ import warnings
 import numpy as np
 
 from ..obs import events, metrics
+from ..resilience import faultinject
 
 __all__ = ["StoreError", "EmbeddingStore", "ServingStore", "export_store"]
 
@@ -314,6 +315,7 @@ class ServingStore:
         self._norms: np.ndarray | None = None
         self._communities: np.ndarray | None = None
         self._members: list[np.ndarray] | None = None
+        self._read_calls = 0
 
     # -- shapes --------------------------------------------------------- #
     @property
@@ -382,9 +384,35 @@ class ServingStore:
             stop = min(start + step, self.num_nodes)
             yield start, stop, self.embeddings[start:stop]
 
+    def _fire_read_fault(self) -> None:
+        """``shard_corrupt_read`` injection point for every query-path
+        mmap materialisation, keyed by a per-store ``call`` counter.
+
+        A firing raises :class:`StoreError` exactly like a real
+        bit-flipped page would surface, so chaos tests exercise the
+        same ``503``-and-degrade path production corruption takes.
+        """
+        call = self._read_calls
+        self._read_calls += 1
+        if faultinject.fire("shard_corrupt_read", call=call) is not None:
+            raise StoreError(
+                f"injected shard corruption on read {call} of version "
+                f"{self.version!r}")
+
+    def read_block(self, start: int, stop: int) -> np.ndarray:
+        """Materialise ``embeddings[start:stop]`` as a float64 block.
+
+        The single mmap-read choke point the index scan goes through —
+        and therefore the ``shard_corrupt_read`` injection site for
+        block reads.
+        """
+        self._fire_read_fault()
+        return np.asarray(self.embeddings[start:stop], dtype=np.float64)
+
     def normalized_rows(self, ids: np.ndarray) -> np.ndarray:
         """L2-normalised embedding rows for ``ids`` (materialises only
         those rows)."""
+        self._fire_read_fault()
         ids = np.asarray(ids, dtype=np.int64)
         rows = np.asarray(self.embeddings[ids], dtype=np.float64)
         return rows / self.norms()[ids][:, None]

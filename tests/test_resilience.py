@@ -108,6 +108,40 @@ class TestFaultPlan:
         assert sink.by_kind("fault_injected")[0]["epoch"] == 4
         assert metrics.registry().counter("faults.injected").value == 1
 
+    def test_probabilistic_decisions_identical_across_processes(self):
+        """``p=``/``seed=`` firing must hash, not stream: the same plan
+        makes the same per-context decision in any process, in any
+        evaluation order."""
+        import subprocess
+        import sys
+
+        import repro
+
+        plan = "chaosdemo@p=0.35,seed=11"
+        src = os.path.dirname(os.path.dirname(repro.__file__))
+        script = (
+            "from repro.resilience import faultinject\n"
+            "print(''.join('1' if faultinject.fire('chaosdemo', call=i)"
+            " else '0' for i in range(200)))\n")
+        env = {**os.environ, "REPRO_FAULTS": plan,
+               "PYTHONPATH": src + os.pathsep
+               + os.environ.get("PYTHONPATH", "")}
+        runs = [subprocess.run([sys.executable, "-c", script], env=env,
+                               capture_output=True, text=True, check=True
+                               ).stdout.strip() for _ in range(2)]
+        assert runs[0] == runs[1]
+        assert "1" in runs[0] and "0" in runs[0]  # genuinely Bernoulli
+        # in-process decisions match the subprocesses...
+        with faultinject.injected(plan):
+            forward = ["1" if faultinject.fire("chaosdemo", call=i)
+                       else "0" for i in range(200)]
+        assert "".join(forward) == runs[0]
+        # ...and are independent of evaluation order
+        with faultinject.injected(plan):
+            backward = {i: "1" if faultinject.fire("chaosdemo", call=i)
+                        else "0" for i in reversed(range(200))}
+        assert "".join(backward[i] for i in range(200)) == runs[0]
+
 
 # --------------------------------------------------------------------- #
 # Checkpoint file format                                                #

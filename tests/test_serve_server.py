@@ -25,7 +25,7 @@ async def _get(port, path):
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     writer.write(f"GET {path} HTTP/1.1\r\nHost: t\r\n\r\n".encode())
     await writer.drain()
-    status, body = await _read_response(reader)
+    status, _, body = await _read_response(reader)
     writer.close()
     return status, json.loads(body)
 
@@ -36,7 +36,7 @@ async def _post(port, path, payload=None):
     writer.write((f"POST {path} HTTP/1.1\r\nHost: t\r\n"
                   f"Content-Length: {len(body)}\r\n\r\n").encode() + body)
     await writer.drain()
-    status, raw = await _read_response(reader)
+    status, _, raw = await _read_response(reader)
     writer.close()
     return status, json.loads(raw)
 

@@ -319,13 +319,34 @@ version so stale hits are structurally impossible), and records p50/p99
 latency, hit rate and batch occupancy into `repro.obs` metrics and the
 run ledger.
 
+The guard (`repro.serve.guard`) hardens that front end for production:
+admission is bounded (`REPRO_SERVE_QUEUE`; overflow sheds `503` +
+`Retry-After` + `serve.shed`), bodies over `REPRO_SERVE_MAX_BODY` are
+refused with `413` before they are read, every request carries a
+deadline (`REPRO_SERVE_DEADLINE_MS`; breach answers `504`), and a
+`CircuitBreaker` steps the backend down `ivf → exact → cache-only`
+after `REPRO_SERVE_BREAKER_THRESHOLD` consecutive failures, probing
+half-open every `REPRO_SERVE_BREAKER_COOLDOWN_MS` until it recovers.
+`/healthz` reports `ok|degraded|draining` (non-200 when not ok);
+`stop()` / SIGTERM drains gracefully within
+`REPRO_SERVE_DRAIN_TIMEOUT_MS`.  Chaos hooks (`slow_index`,
+`index_error`, `queue_overflow`, `shard_corrupt_read` via
+`REPRO_FAULTS`) drive the whole ladder deterministically in tests, the
+`chaos_degrade_25k` benchmark case, and `tools/serve_chaos_smoke.py`;
+`retry_call`/`backoff_delays` give clients (`repro serve query
+--retries`, the load generator) deterministic jittered backoff.  With
+no faults none of this perturbs the batched==serial bit-identity
+contract.
+
 ```bash
 python -m repro serve export --dataset cora --epochs 100 --store ./store
 python -m repro serve query --store ./store --node 7 -k 10 --json
 python -m repro serve run --store ./store --port 8707
-# tracked benchmark: throughput, recall, cached-argmax, 100k-store memory
+# tracked benchmark: throughput, recall, cached-argmax, 100k-store
+# memory, chaos degradation + recovery
 PYTHONPATH=src python -m pytest benchmarks/test_perf_serve.py -q
 python tools/bench_compare.py BENCH_serve.json /tmp/BENCH_serve.json
+PYTHONPATH=src python tools/serve_chaos_smoke.py
 ```
 """,
 }

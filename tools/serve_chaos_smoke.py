@@ -1,0 +1,150 @@
+#!/usr/bin/env python
+"""CI chaos smoke for the serving guard.
+
+Boots :class:`repro.serve.EmbeddingServer` over a synthetic clustered
+store **under injected faults** (``REPRO_FAULTS``, default
+``slow_index@p=0.2,seed=7,s=0.3;index_error@call=3``), drives the
+retrying load generator plus a per-request correctness sweep, and
+asserts the guard contract:
+
+* every answer is shed (``503``), timed out (``504``) or a ``200``
+  whose ids/scores are **bit-identical** to the clean exact-index
+  ground truth — faults never surface as wrong answers;
+* the breaker registered the faults (failures > 0, at least one trip)
+  and shed/deadline counters are non-zero;
+* once the faults stop, probe traffic walks the breaker back to
+  ``/healthz`` ``ok``.
+
+Run from the repo root::
+
+    PYTHONPATH=src python tools/serve_chaos_smoke.py
+
+Exits non-zero on any violated assertion.  Set ``REPRO_RUN_DIR`` to
+also flush the ``serve:<version>`` run-ledger entry (CI uploads it).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import sys
+import tempfile
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.serve import EmbeddingServer, EmbeddingStore, ExactIndex  # noqa: E402
+from repro.serve.server import _read_response, load_generator  # noqa: E402
+
+DEFAULT_PLAN = "slow_index@p=0.2,seed=7,s=0.3;index_error@call=3"
+
+NODES, DIM, COMMUNITIES = 2000, 32, 6
+PROBES = 24  # nodes checked for bit-identical answers under chaos
+K = 10
+
+
+def build_store(directory: str) -> None:
+    rng = np.random.default_rng(11)
+    centers = rng.standard_normal((COMMUNITIES, DIM)) * 4.0
+    labels = rng.integers(0, COMMUNITIES, size=NODES)
+    emb = (centers[labels]
+           + rng.standard_normal((NODES, DIM))).astype(np.float32)
+    memb = np.full((NODES, COMMUNITIES), 0.02, dtype=np.float32)
+    memb[np.arange(NODES), labels] = 1.0
+    memb /= memb.sum(axis=1, keepdims=True)
+    EmbeddingStore(directory).publish(emb, memb, "chaos-smoke-v1")
+
+
+async def _get(port: int, path: str):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    writer.write(f"GET {path} HTTP/1.1\r\nHost: smoke\r\n\r\n".encode())
+    await writer.drain()
+    status, _, body = await _read_response(reader)
+    writer.close()
+    return status, json.loads(body)
+
+
+async def main() -> int:
+    os.environ.setdefault("REPRO_FAULTS", DEFAULT_PLAN)
+    plan = os.environ["REPRO_FAULTS"]
+    with tempfile.TemporaryDirectory(prefix="serve-chaos-") as directory:
+        build_store(directory)
+        # Clean ground truth: the guard hooks only fire on the server's
+        # batch path, so a direct ExactIndex scan is fault-free.
+        serving = EmbeddingStore(directory).load()
+        exact = ExactIndex(serving)
+        truth = {n: exact.similar_nodes(n, K) for n in range(PROBES)}
+
+        # Aggressive guard settings so a smoke-sized run exercises the
+        # whole ladder: tiny batches (each batch = one injection call),
+        # no cache, 250 ms deadline vs 300 ms injected sleeps.
+        server = EmbeddingServer(directory, cache_size=0, max_batch=8,
+                                 deadline_ms=250, breaker_threshold=2,
+                                 breaker_cooldown_ms=200)
+        await server.start()
+        print(f"chaos plan: {plan}")
+        print(f"serving {NODES}x{DIM} store on port {server.port}")
+
+        paths = [f"/similar?node={n}&k={K}" for n in range(PROBES)]
+        report = await load_generator(
+            "127.0.0.1", server.port, paths, total_requests=120,
+            concurrency=6, retries=3, backoff_base_s=0.02,
+            backoff_cap_s=0.2)
+        print(f"load: statuses={report['statuses']} "
+              f"retries={report['retries']} gave_up={report['gave_up']}")
+        assert set(report["statuses"]) <= {200, 503, 504}, report["statuses"]
+        assert report["statuses"].get(200, 0) > 0, "chaos was total"
+
+        # Correctness sweep, still under faults: any 200 must be
+        # bit-identical to the clean answer.
+        wrong = checked = refused = 0
+        for node in range(PROBES):
+            for _ in range(6):
+                status, body = await _get(server.port,
+                                          f"/similar?node={node}&k={K}")
+                assert status in (200, 503, 504), status
+                if status == 200:
+                    ids, scores = truth[node]
+                    if (body["ids"] != ids.tolist()
+                            or body["scores"] != scores.tolist()):
+                        wrong += 1
+                    checked += 1
+                    break
+                refused += 1
+                await asyncio.sleep(0.05)
+        print(f"correctness: {checked}/{PROBES} nodes verified, "
+              f"{refused} shed/timeout answers, {wrong} wrong")
+        assert wrong == 0, f"{wrong} wrong 200 answers under faults"
+        assert checked > 0, "no 200 answers to verify"
+
+        guard_stats = server.stats()["guard"]
+        print(f"guard: shed={guard_stats['shed']} "
+              f"deadline_timeouts={guard_stats['deadline_timeouts']} "
+              f"breaker={guard_stats['breaker']}")
+        assert guard_stats["breaker"]["failures"] > 0, "faults never bit"
+        assert guard_stats["breaker"]["trips"] > 0, "breaker never tripped"
+        assert (guard_stats["shed"]["total"]
+                + guard_stats["deadline_timeouts"]) > 0, "nothing shed"
+
+        # Faults off: the breaker must probe its way back to ok.
+        del os.environ["REPRO_FAULTS"]
+        recovered = False
+        for _ in range(50):
+            status, health = await _get(server.port, "/healthz")
+            if status == 200 and health["status"] == "ok":
+                recovered = True
+                break
+            await _get(server.port, f"/similar?node=0&k={K}")
+            await asyncio.sleep(0.1)
+        print(f"recovered: {recovered}")
+        assert recovered, "breaker never recovered to ok"
+
+        await server.stop()  # drains + flushes the run-ledger entry
+    print("serve chaos smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(asyncio.run(main()))
